@@ -1,0 +1,29 @@
+// Ablation A2 (paper §6.1): the lambda parameter models the relative CPU
+// cost of a message vs its network transmission; the paper publishes
+// lambda = 1 and refers to the extended report for other values.  This
+// bench sweeps lambda in the normal-steady scenario: with large lambda
+// the hosts become the bottleneck, with small lambda the wire does.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace fdgm;
+using namespace fdgm::bench;
+
+int main() {
+  const BenchBudget b = budget_from_env();
+  print_header("Ablation: lambda sweep (CPU vs network bottleneck)", "paper §6.1");
+  util::Table table({"n", "lambda", "T [1/s]", "FD [ms]", "GM [ms]"});
+  for (double lambda : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    for (double t : {50.0, 300.0}) {
+      const auto fd =
+          core::run_steady(sim_config(core::Algorithm::kFd, 3, lambda), steady_config(t, b));
+      const auto gm =
+          core::run_steady(sim_config(core::Algorithm::kGm, 3, lambda), steady_config(t, b));
+      table.add_row({"3", util::Table::cell(lambda, 1), util::Table::cell(t, 0), fmt_point(fd),
+                     fmt_point(gm)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

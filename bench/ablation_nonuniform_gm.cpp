@@ -1,0 +1,31 @@
+// Ablation A1 (paper §8, "Non-uniform atomic broadcast"): the GM based
+// algorithm admits an efficient non-uniform variant using only two
+// multicasts (data + seqnum) — the uniformity requirement cannot be
+// dropped from the FD algorithm.  This bench quantifies the price of
+// uniformity: latency of uniform GM vs non-uniform GM vs FD in the
+// normal-steady scenario.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace fdgm;
+using namespace fdgm::bench;
+
+int main() {
+  const BenchBudget b = budget_from_env();
+  print_header("Ablation: the price of uniformity (non-uniform GM variant)", "paper §8");
+  for (int n : {3, 7}) {
+    util::Table table({"n", "T [1/s]", "FD uniform [ms]", "GM uniform [ms]", "GM non-uniform [ms]"});
+    for (double t : throughput_sweep(n)) {
+      const auto fd = core::run_steady(sim_config(core::Algorithm::kFd, n), steady_config(t, b));
+      const auto gm = core::run_steady(sim_config(core::Algorithm::kGm, n), steady_config(t, b));
+      const auto nu =
+          core::run_steady(sim_config(core::Algorithm::kGmNonUniform, n), steady_config(t, b));
+      table.add_row({std::to_string(n), util::Table::cell(t, 0), fmt_point(fd), fmt_point(gm),
+                     fmt_point(nu)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the figure benches: standard sweep configurations and
+// table printing.  Every bench prints the series of one paper figure
+// (mean latency ± 95% CI per point); absolute values need not match the
+// paper's testbed, the shape is what gets compared in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "util/csv.hpp"
+
+namespace fdgm::bench {
+
+/// Replica count / sample budget, overridable for quick smoke runs.
+struct BenchBudget {
+  std::size_t replicas = 3;
+  std::size_t samples = 400;
+  double warmup_ms = 1500.0;
+  double max_time_ms = 90000.0;
+};
+
+inline BenchBudget budget_from_env() {
+  BenchBudget b;
+  if (const char* q = std::getenv("FDGM_BENCH_QUICK"); q && *q == '1') {
+    b.replicas = 2;
+    b.samples = 150;
+    b.warmup_ms = 800.0;
+    b.max_time_ms = 30000.0;
+  }
+  return b;
+}
+
+inline core::SteadyConfig steady_config(double throughput, const BenchBudget& b) {
+  core::SteadyConfig sc;
+  sc.throughput = throughput;
+  sc.samples = b.samples;
+  sc.warmup_ms = b.warmup_ms;
+  sc.max_time_ms = b.max_time_ms;
+  sc.replicas = b.replicas;
+  return sc;
+}
+
+inline core::SimConfig sim_config(core::Algorithm a, int n, double lambda = 1.0,
+                                  std::uint64_t seed = 1000) {
+  core::SimConfig cfg;
+  cfg.algorithm = a;
+  cfg.n = n;
+  cfg.lambda = lambda;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The throughput sweep used by the latency-vs-throughput figures.
+inline std::vector<double> throughput_sweep(int n) {
+  if (n >= 7) return {10, 50, 100, 200, 300, 400, 500};
+  return {10, 50, 100, 200, 300, 400, 500, 600, 700};
+}
+
+inline std::string fmt_point(const core::PointResult& r) {
+  if (!r.stable) return "unstable";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f +/- %.2f", r.latency.mean, r.latency.half_width);
+  return buf;
+}
+
+inline std::string fmt_transient(const core::TransientResult& r) {
+  if (!r.stable) return "unstable";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f +/- %.2f", r.latency.mean, r.latency.half_width);
+  return buf;
+}
+
+inline void print_header(const char* title, const char* figure) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n(reproduces %s; latency in ms, 95%% CI over replicas)\n", title, figure);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace fdgm::bench

@@ -1,0 +1,26 @@
+// Figure 4: latency vs throughput in the normal-steady scenario (neither
+// crashes nor suspicions), n = 3 and n = 7, lambda = 1.  The paper plots a
+// single curve per n because the two algorithms perform identically; we
+// print both columns so the equality is visible.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace fdgm;
+using namespace fdgm::bench;
+
+int main() {
+  const BenchBudget b = budget_from_env();
+  print_header("Normal-steady scenario: latency vs throughput", "Fig. 4");
+  for (int n : {3, 7}) {
+    util::Table table({"n", "T [1/s]", "FD [ms]", "GM [ms]"});
+    for (double t : throughput_sweep(n)) {
+      const auto fd = core::run_steady(sim_config(core::Algorithm::kFd, n), steady_config(t, b));
+      const auto gm = core::run_steady(sim_config(core::Algorithm::kGm, n), steady_config(t, b));
+      table.add_row({std::to_string(n), util::Table::cell(t, 0), fmt_point(fd), fmt_point(gm)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6: latency vs mistake recurrence time TMR in the suspicion-steady
+// scenario, with TM = 0 (point mistakes).  Four panels: (n, T) in
+// {3,7} x {10,300} 1/s.  Expected shape: the GM algorithm is far more
+// sensitive to wrong suspicions than the FD algorithm; the curves only
+// meet at very large TMR.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace fdgm;
+using namespace fdgm::bench;
+
+int main() {
+  const BenchBudget b = budget_from_env();
+  print_header("Suspicion-steady scenario: latency vs TMR (TM = 0)", "Fig. 6");
+  const std::vector<double> tmr_sweep{10, 30, 100, 300, 1000, 10000, 100000};
+  for (int n : {3, 7}) {
+    for (double t : {10.0, 300.0}) {
+      util::Table table({"n", "T [1/s]", "TMR [ms]", "FD [ms]", "GM [ms]"});
+      for (double tmr : tmr_sweep) {
+        auto fd_cfg = sim_config(core::Algorithm::kFd, n);
+        auto gm_cfg = sim_config(core::Algorithm::kGm, n);
+        for (auto* cfg : {&fd_cfg, &gm_cfg}) {
+          cfg->fd_params.wrong_suspicions = true;
+          cfg->fd_params.mistake_recurrence = tmr;
+          cfg->fd_params.mistake_duration = 0.0;
+        }
+        auto sc = steady_config(t, b);
+        // Let rare mistakes show up: cover at least ~20 recurrence
+        // periods, capped to keep the bench fast.
+        sc.min_window_ms = std::min(20.0 * tmr, 20000.0);
+        const auto fd = core::run_steady(fd_cfg, sc);
+        const auto gm = core::run_steady(gm_cfg, sc);
+        table.add_row({std::to_string(n), util::Table::cell(t, 0), util::Table::cell(tmr, 0),
+                       fmt_point(fd), fmt_point(gm)});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

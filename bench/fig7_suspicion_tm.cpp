@@ -1,0 +1,47 @@
+// Figure 7: latency vs mistake duration TM in the suspicion-steady
+// scenario, with TMR fixed per panel exactly as in the paper:
+//   (n=3, T=10):  TMR = 1000 ms     (n=7, T=10):  TMR = 10000 ms
+//   (n=3, T=300): TMR = 10000 ms    (n=7, T=300): TMR = 100000 ms
+// Expected shape: the GM algorithm is sensitive to TM as well (repeated
+// exclusions while the mistake lasts), the FD algorithm much less so.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace fdgm;
+using namespace fdgm::bench;
+
+int main() {
+  const BenchBudget b = budget_from_env();
+  print_header("Suspicion-steady scenario: latency vs TM (TMR fixed)", "Fig. 7");
+  struct Panel {
+    int n;
+    double t;
+    double tmr;
+  };
+  const std::vector<Panel> panels{
+      {3, 10.0, 1000.0}, {7, 10.0, 10000.0}, {3, 300.0, 10000.0}, {7, 300.0, 100000.0}};
+  const std::vector<double> tm_sweep{1, 10, 100, 300, 1000};
+  for (const Panel& p : panels) {
+    util::Table table({"n", "T [1/s]", "TMR [ms]", "TM [ms]", "FD [ms]", "GM [ms]"});
+    for (double tm : tm_sweep) {
+      auto fd_cfg = sim_config(core::Algorithm::kFd, p.n);
+      auto gm_cfg = sim_config(core::Algorithm::kGm, p.n);
+      for (auto* cfg : {&fd_cfg, &gm_cfg}) {
+        cfg->fd_params.wrong_suspicions = true;
+        cfg->fd_params.mistake_recurrence = p.tmr;
+        cfg->fd_params.mistake_duration = tm;
+      }
+      auto sc = steady_config(p.t, b);
+      sc.min_window_ms = std::min(10.0 * p.tmr, 25000.0);
+      const auto fd = core::run_steady(fd_cfg, sc);
+      const auto gm = core::run_steady(gm_cfg, sc);
+      table.add_row({std::to_string(p.n), util::Table::cell(p.t, 0),
+                     util::Table::cell(p.tmr, 0), util::Table::cell(tm, 0), fmt_point(fd),
+                     fmt_point(gm)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Microbenchmarks of the simulation substrate: event-queue throughput,
+// network-hop cost and end-to-end consensus/abcast instance cost.  These
+// bound how much simulated time the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "net/system.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace fdgm;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) s.schedule_at(static_cast<double>(i % 64), [] {});
+    s.run();
+    benchmark::DoNotOptimize(s.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_NetworkUnicastHop(benchmark::State& state) {
+  for (auto _ : state) {
+    net::System sys(2, net::NetworkConfig{}, 1);
+    class Sink final : public net::Layer {
+     public:
+      void on_message(const net::Message&) override {}
+    } sink;
+    sys.node(1).register_handler(net::ProtocolId::kApplication, &sink);
+    for (int i = 0; i < 1000; ++i)
+      sys.node(0).send(1, net::ProtocolId::kApplication, std::make_shared<net::Payload>());
+    sys.scheduler().run();
+    benchmark::DoNotOptimize(sys.network().messages_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NetworkUnicastHop);
+
+void BM_AbcastSecond(benchmark::State& state) {
+  // Cost of one simulated second of atomic broadcast at T=300/s, n=3.
+  const auto algo = static_cast<core::Algorithm>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig cfg;
+    cfg.algorithm = algo;
+    cfg.n = 3;
+    cfg.seed = 7;
+    core::SimRun run(cfg, core::WorkloadConfig{.throughput = 300.0});
+    run.start();
+    run.run_until(1000.0);
+    benchmark::DoNotOptimize(run.recorder().total_delivered());
+  }
+}
+BENCHMARK(BM_AbcastSecond)
+    ->Arg(static_cast<int>(core::Algorithm::kFd))
+    ->Arg(static_cast<int>(core::Algorithm::kGm));
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Quickstart: bring up a 3-process system, A-broadcast a handful of
+// messages with each algorithm and print the delivery logs plus the
+// measured latency — the "hello world" of the library.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+using namespace fdgm;
+
+namespace {
+
+void demo(core::Algorithm algo) {
+  core::SimConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n = 3;
+  cfg.lambda = 1.0;
+  cfg.seed = 42;
+
+  core::SimRun run(cfg, core::WorkloadConfig{.throughput = 50.0});
+  run.start();
+  run.run_until(500.0);  // half a simulated second
+
+  std::printf("--- %s algorithm, n=3, lambda=1, T=50/s ---\n",
+              core::algorithm_name(algo));
+  std::printf("broadcast: %zu messages, delivered everywhere first at mean latency %.2f ms\n",
+              run.recorder().total_broadcast(),
+              run.recorder().window_stats(0.0, 500.0).mean());
+  for (int p = 0; p < cfg.n; ++p)
+    std::printf("process %d delivered %llu messages\n", p,
+                static_cast<unsigned long long>(run.proc(p).delivered_count()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fdgm-abcast quickstart: two uniform atomic broadcast algorithms\n");
+  std::printf("(reproduction of Urban, Shnayderman, Schiper; DSN 2003)\n\n");
+  demo(core::Algorithm::kFd);
+  demo(core::Algorithm::kGm);
+  return 0;
+}

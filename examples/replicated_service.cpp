@@ -1,0 +1,88 @@
+// Active replication (paper §5.1): a key-value service replicated with
+// atomic broadcast.  Clients send requests through A-broadcast; every
+// replica applies them in delivery order, so the replicas stay identical
+// and the client-observable response time tracks the latency metric L
+// (time to the *first* delivery).
+//
+// The example runs the same request stream over both algorithms, verifies
+// replica-state convergence, then crashes the coordinator/sequencer and
+// shows that the service keeps operating.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace fdgm;
+
+namespace {
+
+/// A trivial deterministic state machine: counters keyed by client id.
+struct Replica {
+  std::map<int, int> counters;
+  std::uint64_t applied = 0;
+
+  void apply(const abcast::AppMessage& request) {
+    counters[request.id.origin] += static_cast<int>(request.id.seq % 7 + 1);
+    ++applied;
+  }
+
+  [[nodiscard]] std::string digest() const {
+    std::string d;
+    for (const auto& [k, v] : counters) d += std::to_string(k) + ":" + std::to_string(v) + ";";
+    return d;
+  }
+};
+
+void run_service(core::Algorithm algo) {
+  std::printf("--- replicated counter service over %s atomic broadcast ---\n",
+              core::algorithm_name(algo));
+  core::SimConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n = 3;
+  cfg.seed = 7;
+  cfg.fd_params.detection_time = 20.0;
+
+  core::SimRun run(cfg, core::WorkloadConfig{.throughput = 120.0});
+  std::vector<Replica> replicas(3);
+  util::RunningStats response_time;
+  for (int p = 0; p < 3; ++p) {
+    run.proc(p).set_deliver_callback([&, p](const abcast::AppMessage& m) {
+      replicas[static_cast<std::size_t>(p)].apply(m);
+      run.recorder().on_deliver(m, run.system().now());
+    });
+  }
+  run.start();
+
+  run.run_until(1000.0);
+  std::printf("  t=1000 ms: %llu requests applied at replica 0\n",
+              static_cast<unsigned long long>(replicas[0].applied));
+
+  // Crash the coordinator/sequencer: the service must keep going.
+  run.system().crash(0);
+  std::printf("  t=1000 ms: p0 (coordinator/sequencer) crashes\n");
+  run.run_until(2700.0);
+  run.workload().stop();  // drain so the replicas can be compared
+  run.run_until(3000.0);
+
+  const auto stats = run.recorder().window_stats(0.0, 2800.0);
+  std::printf("  t=3000 ms: replica1 applied %llu, replica2 applied %llu\n",
+              static_cast<unsigned long long>(replicas[1].applied),
+              static_cast<unsigned long long>(replicas[2].applied));
+  std::printf("  state digests equal: %s\n",
+              replicas[1].digest() == replicas[2].digest() ? "yes" : "NO!");
+  std::printf("  mean response latency: %.2f ms (min %.2f, max %.2f)\n\n", stats.mean(),
+              stats.min(), stats.max());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Active replication demo (paper §5.1)\n\n");
+  run_service(core::Algorithm::kFd);
+  run_service(core::Algorithm::kGm);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Common interface of the two uniform atomic broadcast implementations.
+//
+// The experiment harness interacts with both algorithms exclusively through
+// this interface: A-broadcast on any process, and a delivery callback that
+// reports every A-delivery (process-local) with the original send time, so
+// the harness can compute the paper's latency metric
+//     L = (min_i deliver_time_i) - broadcast_time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace fdgm::abcast {
+
+/// Globally unique id of an A-broadcast message: (origin, per-origin seq).
+struct MsgId {
+  net::ProcessId origin = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const MsgId&, const MsgId&) = default;
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+};
+
+struct MsgIdHash {
+  std::size_t operator()(const MsgId& id) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.origin)) << 40) ^ id.seq);
+  }
+};
+
+/// The application-level message carried through atomic broadcast.
+class AppMessage final : public net::Payload {
+ public:
+  AppMessage(MsgId id, sim::Time sent_at) : id(id), sent_at(sent_at) {}
+
+  MsgId id;
+  sim::Time sent_at;  // A-broadcast timestamp (for the latency metric)
+};
+
+using AppMessagePtr = std::shared_ptr<const AppMessage>;
+
+/// Per-process endpoint of an atomic broadcast algorithm.
+class AtomicBroadcastProcess {
+ public:
+  /// Invoked on every local A-delivery, in delivery order.
+  using DeliverFn = std::function<void(const AppMessage&)>;
+
+  AtomicBroadcastProcess() = default;
+  AtomicBroadcastProcess(const AtomicBroadcastProcess&) = delete;
+  AtomicBroadcastProcess& operator=(const AtomicBroadcastProcess&) = delete;
+  virtual ~AtomicBroadcastProcess() = default;
+
+  /// A-broadcast a new message from this process.  Returns its id.
+  /// No-op (returns a null id with seq 0) on a crashed process.
+  virtual MsgId a_broadcast() = 0;
+
+  virtual void set_deliver_callback(DeliverFn fn) = 0;
+
+  [[nodiscard]] virtual net::ProcessId id() const = 0;
+
+  /// Number of messages A-delivered locally (tests/debug).
+  [[nodiscard]] virtual std::uint64_t delivered_count() const = 0;
+};
+
+}  // namespace fdgm::abcast

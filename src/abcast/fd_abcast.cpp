@@ -1,0 +1,167 @@
+#include "abcast/fd_abcast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fdgm::abcast {
+
+namespace {
+constexpr int kDataTag = 0x41424344;        // "ABCD": data dissemination channel
+constexpr std::uint32_t kAbcastContext = 0;  // consensus context of the FD algorithm
+}  // namespace
+
+FdAbcastProcess::FdAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
+                                 FdAbcastConfig cfg)
+    : sys_(&sys),
+      self_(self),
+      fd_(&fd),
+      cfg_(cfg),
+      rb_(sys, self, fd, rbcast::RbConfig{.relay_on_suspicion = false}),
+      consensus_(sys, self, fd, rb_) {
+  rb_.register_client(kDataTag, [this](const rbcast::RbId& id, net::ProcessId /*origin*/,
+                                       const net::PayloadPtr& inner) { on_data(id, inner); });
+  consensus_.register_context(
+      kAbcastContext,
+      consensus::ConsensusService::ContextConfig{
+          .join =
+              [this](const consensus::InstanceKey& key)
+                  -> std::optional<consensus::StartInfo> {
+                // Traffic for instances beyond the pipeline window is
+                // buffered until our decisions catch up (retry_buffered is
+                // called as they are processed).
+                if (!can_start(key.number)) return std::nullopt;
+                return make_start_info(key.number);
+              },
+          .on_decide = [this](const consensus::InstanceKey& key,
+                              const net::PayloadPtr& value) { on_decide(key, value); },
+      });
+}
+
+MsgId FdAbcastProcess::a_broadcast() {
+  if (sys_->node(self_).crashed()) return MsgId{};
+  const MsgId id{self_, next_msg_seq_++};
+  auto msg = std::make_shared<AppMessage>(id, sys_->now());
+  rb_.broadcast(kDataTag, msg);  // delivers locally too -> on_data
+  return id;
+}
+
+void FdAbcastProcess::on_data(const rbcast::RbId& rb_id, const net::PayloadPtr& inner) {
+  auto msg = std::dynamic_pointer_cast<const AppMessage>(inner);
+  if (!msg) throw std::logic_error("FdAbcastProcess: bad data payload");
+  if (delivered_ids_.contains(msg->id)) {
+    rb_.release(rb_id);  // late relay of an already delivered message
+    return;
+  }
+  pending_.emplace(msg->id, msg);
+  rb_ids_.emplace(msg->id, rb_id);
+  process_ready_decisions();  // a decision may have been waiting for this content
+  maybe_start_next();
+}
+
+int FdAbcastProcess::offset_for(std::uint64_t number) const {
+  if (!cfg_.renumbering || number <= cfg_.pipeline) return 0;
+  auto it = winners_.find(number - cfg_.pipeline);
+  return it == winners_.end() ? 0 : it->second;
+}
+
+consensus::StartInfo FdAbcastProcess::make_start_info(std::uint64_t number) {
+  std::vector<MsgId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, msg] : pending_) {
+    ids.push_back(id);
+    auto [it, inserted] = proposed_in_.try_emplace(id, number);
+    if (!inserted) it->second = std::max(it->second, number);
+  }
+  return consensus::StartInfo{
+      .members = sys_->all(),
+      .coordinator_offset = offset_for(number),
+      .initial = std::make_shared<Proposal>(self_, std::move(ids)),
+      // Recovery rounds with no locked value may batch in later arrivals.
+      .refresh =
+          [this, number]() -> net::PayloadPtr {
+            std::vector<MsgId> fresh;
+            fresh.reserve(pending_.size());
+            for (const auto& [id, msg] : pending_) {
+              fresh.push_back(id);
+              auto [it, inserted] = proposed_in_.try_emplace(id, number);
+              if (!inserted) it->second = std::max(it->second, number);
+            }
+            return std::make_shared<Proposal>(self_, std::move(fresh));
+          },
+  };
+}
+
+void FdAbcastProcess::maybe_start_next() {
+  // Start the lowest startable instance when some pending message is not
+  // yet covered by a proposal of ours.  Messages arriving while the
+  // pipeline is full batch into a later instance (aggregation, §4.1).
+  bool uncovered = false;
+  for (const auto& [id, msg] : pending_) {
+    if (!proposed_in_.contains(id)) {
+      uncovered = true;
+      break;
+    }
+  }
+  if (!uncovered) return;
+  std::uint64_t k = next_to_process_;
+  while (can_start(k)) {
+    const consensus::InstanceKey key{kAbcastContext, k};
+    if (!consensus_.running(key) && !consensus_.decided(key)) {
+      consensus_.start(key, make_start_info(k));
+      return;
+    }
+    ++k;
+  }
+}
+
+void FdAbcastProcess::on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value) {
+  auto prop = std::dynamic_pointer_cast<const Proposal>(value);
+  if (!prop) throw std::logic_error("FdAbcastProcess: bad decision payload");
+  ready_decisions_.emplace(key.number, prop);
+  process_ready_decisions();
+  maybe_start_next();
+}
+
+void FdAbcastProcess::process_ready_decisions() {
+  while (true) {
+    auto it = ready_decisions_.find(next_to_process_);
+    if (it == ready_decisions_.end()) return;
+    const Proposal& prop = *it->second;
+    // Deliver the decision's messages in id order.  All correct processes
+    // apply the same vector, so the delivery order is identical everywhere.
+    for (const MsgId& id : prop.ids) {
+      if (delivered_ids_.contains(id)) continue;
+      auto pit = pending_.find(id);
+      if (pit == pending_.end()) return;  // content not yet R-delivered; retry on arrival
+      AppMessagePtr msg = pit->second;
+      pending_.erase(pit);
+      proposed_in_.erase(id);
+      delivered_ids_.insert(id);
+      log_.push_back(msg);
+      if (auto rit = rb_ids_.find(id); rit != rb_ids_.end()) {
+        rb_.release(rit->second);
+        rb_ids_.erase(rit);
+      }
+      if (deliver_cb_) deliver_cb_(*msg);
+    }
+    // Re-proposal: ids whose latest proposal lost (mark at or below the
+    // decision just applied) become uncovered again.
+    for (auto it = proposed_in_.begin(); it != proposed_in_.end();) {
+      if (it->second <= next_to_process_)
+        it = proposed_in_.erase(it);
+      else
+        ++it;
+    }
+    winners_.emplace(next_to_process_, prop.proposer);
+    while (!winners_.empty() && winners_.begin()->first + cfg_.pipeline < next_to_process_)
+      winners_.erase(winners_.begin());
+    ready_decisions_.erase(it);
+    ++next_to_process_;
+  }
+  // The window may have opened: retry joins buffered by the service and
+  // any local starts we deferred.
+  consensus_.retry_buffered(kAbcastContext);
+  maybe_start_next();
+}
+
+}  // namespace fdgm::abcast

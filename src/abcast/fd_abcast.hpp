@@ -1,0 +1,129 @@
+// Chandra-Toueg atomic broadcast — the "FD algorithm" of the paper (§4.1).
+//
+// A-broadcast(m) reliably broadcasts m to everyone.  Delivery order is
+// decided by a sequence of consensus instances #1, #2, ...; the initial
+// value and the decision of each instance is a set of message ids.  The
+// messages of decision #k are A-delivered before those of #k+1; within a
+// decision, messages are A-delivered in the deterministic order of their
+// ids.  Aggregation is inherent: one consensus decides the order of every
+// message pending at the proposer.
+//
+// Instances run in a shallow pipeline (depth W = 2): instance #k may
+// start once decision #(k-W) has been processed.  Messages arriving while
+// the in-flight instances are busy batch into the next one — the
+// algorithm's aggregation mechanism (§4.1) — and per batch the
+// failure-free message pattern is identical to the sequencer's (one
+// proposal multicast, n-1 acks, one decision multicast), which is what
+// lets the paper plot a single curve for both algorithms in the
+// normal-steady scenario.  The shallow pipeline also lets a new message
+// open its own instance while a previous one is stalled on a crashed
+// coordinator, so the transient recovery after a crash costs one round,
+// not one round per queued instance (Fig. 8).
+//
+// Re-numbering optimization (paper §7, crash-steady): each proposal is
+// tagged with the proposer's id; the coordinator order of instance #k
+// starts at the winning proposer of decision #(k-W), so crashed processes
+// eventually stop being round-1 coordinators.  Anchoring the rotation W
+// decisions back keeps it identical at every process despite the
+// pipelining (anchoring on "the latest local decision" would diverge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "abcast/abcast.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/system.hpp"
+#include "rbcast/reliable_broadcast.hpp"
+
+namespace fdgm::abcast {
+
+struct FdAbcastConfig {
+  /// Enables the coordinator re-numbering optimization.
+  bool renumbering = true;
+  /// Pipeline depth W: instance #k may start once decision #(k-W) was
+  /// processed.  1 = strictly sequential instances.
+  std::uint64_t pipeline = 2;
+};
+
+class FdAbcastProcess final : public AtomicBroadcastProcess {
+ public:
+  /// Builds the full protocol stack of one process: reliable broadcast,
+  /// consensus service and the atomic broadcast layer on top.
+  FdAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
+                  FdAbcastConfig cfg = {});
+
+  // AtomicBroadcastProcess
+  MsgId a_broadcast() override;
+  void set_deliver_callback(DeliverFn fn) override { deliver_cb_ = std::move(fn); }
+  [[nodiscard]] net::ProcessId id() const override { return self_; }
+  [[nodiscard]] std::uint64_t delivered_count() const override { return log_.size(); }
+
+  /// Delivery log (tests: total order / uniform agreement checks).
+  [[nodiscard]] const std::vector<AppMessagePtr>& log() const { return log_; }
+
+  /// Consensus instances decided so far (tests: aggregation checks).
+  [[nodiscard]] std::uint64_t decided_instances() const { return next_to_process_ - 1; }
+
+  [[nodiscard]] rbcast::ReliableBroadcast& rb() { return rb_; }
+
+  /// Test/debug access to the consensus endpoint.
+  [[nodiscard]] consensus::ConsensusService& consensus_dbg() { return consensus_; }
+
+ private:
+  /// The consensus value: a set of message ids tagged with the proposer.
+  class Proposal final : public net::Payload {
+   public:
+    Proposal(net::ProcessId proposer, std::vector<MsgId> ids)
+        : proposer(proposer), ids(std::move(ids)) {}
+    net::ProcessId proposer;
+    std::vector<MsgId> ids;
+  };
+
+  void on_data(const rbcast::RbId& rb_id, const net::PayloadPtr& inner);
+  void on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value);
+  void maybe_start_next();
+  void process_ready_decisions();
+  /// Builds the proposal (all pending ids) and marks them as proposed in
+  /// instance `number`.
+  [[nodiscard]] consensus::StartInfo make_start_info(std::uint64_t number);
+  /// May instance `number` start yet (pipeline window)?
+  [[nodiscard]] bool can_start(std::uint64_t number) const {
+    return number < next_to_process_ + cfg_.pipeline;
+  }
+  /// Coordinator rotation offset of instance `number` (identical at every
+  /// process): the winner of decision #(number - pipeline), 0 early on.
+  [[nodiscard]] int offset_for(std::uint64_t number) const;
+
+  net::System* sys_;
+  net::ProcessId self_;
+  fd::FailureDetector* fd_;
+  FdAbcastConfig cfg_;
+  rbcast::ReliableBroadcast rb_;
+  consensus::ConsensusService consensus_;
+  DeliverFn deliver_cb_;
+
+  std::uint64_t next_msg_seq_ = 1;
+  /// R-delivered, not yet A-delivered (id-ordered for proposals).
+  std::map<MsgId, AppMessagePtr> pending_;
+  /// Highest instance number whose proposal included the id.  Ids without
+  /// a mark trigger (and join) the next instance; marks at or below a
+  /// processed decision are cleared so lost proposals are re-proposed.
+  std::unordered_map<MsgId, std::uint64_t, MsgIdHash> proposed_in_;
+  std::unordered_map<MsgId, rbcast::RbId, MsgIdHash> rb_ids_;
+  std::unordered_set<MsgId, MsgIdHash> delivered_ids_;
+  std::vector<AppMessagePtr> log_;
+
+  std::uint64_t next_to_process_ = 1;  // next decision to apply
+  std::map<std::uint64_t, std::shared_ptr<const Proposal>> ready_decisions_;
+  /// Winning proposer per processed decision (pruned below the window):
+  /// anchors the coordinator rotation of instance #(k + pipeline).
+  std::map<std::uint64_t, net::ProcessId> winners_;
+};
+
+}  // namespace fdgm::abcast

@@ -1,0 +1,429 @@
+#include "abcast/gm_abcast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace fdgm::abcast {
+
+// -------------------------------------------------------------- wire types
+
+class GmAbcastProcess::DataMsg final : public net::Payload {
+ public:
+  explicit DataMsg(AppMessagePtr msg) : msg(std::move(msg)) {}
+  AppMessagePtr msg;
+};
+
+class GmAbcastProcess::SeqnumMsg final : public net::Payload {
+ public:
+  SeqnumMsg(std::uint64_t view_id, std::vector<std::pair<MsgId, std::int64_t>> pairs)
+      : view_id(view_id), pairs(std::move(pairs)) {}
+  std::uint64_t view_id;
+  std::vector<std::pair<MsgId, std::int64_t>> pairs;
+};
+
+class GmAbcastProcess::AckMsg final : public net::Payload {
+ public:
+  AckMsg(std::uint64_t view_id, std::int64_t cum) : view_id(view_id), cum(cum) {}
+  std::uint64_t view_id;
+  std::int64_t cum;
+};
+
+class GmAbcastProcess::DeliverMsg final : public net::Payload {
+ public:
+  DeliverMsg(std::uint64_t view_id, std::int64_t cum, std::int64_t stable)
+      : view_id(view_id), cum(cum), stable(stable) {}
+  std::uint64_t view_id;
+  std::int64_t cum;
+  /// Every view member holds content+order up to here (min cumulative
+  /// ack): recently-delivered retention can be pruned up to this point.
+  std::int64_t stable;
+};
+
+/// Repair request: "send me sequence numbers and contents in (from, to]".
+/// Needed after a rejoin, when SEQNUM multicasts may have been sent to a
+/// view that did not include the joiner yet.
+class GmAbcastProcess::NeedMsg final : public net::Payload {
+ public:
+  NeedMsg(std::uint64_t view_id, std::int64_t from, std::int64_t to)
+      : view_id(view_id), from(from), to(to) {}
+  std::uint64_t view_id;
+  std::int64_t from;
+  std::int64_t to;
+};
+
+/// State transferred to a wrongly excluded process when it rejoins.
+class GmAbcastProcess::GmState final : public net::Payload {
+ public:
+  std::vector<AppMessagePtr> log_suffix;                       // missed deliveries
+  std::vector<std::pair<AppMessagePtr, std::int64_t>> known;  // undelivered (+sn or -1)
+  std::int64_t sn_floor = 0;
+  std::int64_t settled = 0;  // sender's deliver point (joiner's new baseline)
+};
+
+// ------------------------------------------------------------ construction
+
+GmAbcastProcess::GmAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
+                                 GmAbcastConfig cfg)
+    : sys_(&sys),
+      self_(self),
+      fd_(&fd),
+      cfg_(cfg),
+      rb_(sys, self, fd, rbcast::RbConfig{.relay_on_suspicion = false}),
+      consensus_(sys, self, fd, rb_),
+      membership_(sys, self, fd, rb_, consensus_, *this,
+                  gm::MembershipConfig{.join_retry = cfg.join_retry}) {
+  view_ = membership_.view();
+  sys.node(self).register_handler(net::ProtocolId::kAtomicBroadcast, this);
+}
+
+GmAbcastProcess::~GmAbcastProcess() {
+  sys_->node(self_).register_handler(net::ProtocolId::kAtomicBroadcast, nullptr);
+}
+
+// ------------------------------------------------------------- data plane
+
+MsgId GmAbcastProcess::a_broadcast() {
+  if (sys_->node(self_).crashed()) return MsgId{};
+  const MsgId id{self_, next_msg_seq_++};
+  auto msg = std::make_shared<AppMessage>(id, sys_->now());
+  if (!member_) {
+    // Wrongly excluded: hold the message until we rejoin.
+    own_buffer_.push_back(msg);
+    return id;
+  }
+  std::vector<net::ProcessId> others;
+  for (net::ProcessId p : view_.members)
+    if (p != self_) others.push_back(p);
+  if (!others.empty())
+    sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
+                                std::make_shared<DataMsg>(msg));
+  handle_data(msg);
+  return id;
+}
+
+void GmAbcastProcess::handle_data(const AppMessagePtr& msg) {
+  if (delivered_.contains(msg->id) || msgs_.contains(msg->id)) return;
+  msgs_.emplace(msg->id, msg);
+  arrival_order_.push_back(msg->id);
+  if (active_sequencer())
+    sequence_pending();
+  else
+    try_advance_ack();
+}
+
+void GmAbcastProcess::sequence_pending() {
+  // Shallow batch pipeline (uniform mode): at most two batches awaiting
+  // their DELIVER announcement.
+  if (cfg_.uniform) {
+    std::erase_if(batch_ends_, [this](std::int64_t e) { return e <= announced_; });
+    if (batch_ends_.size() >= 2) return;
+  }
+  // Assign the next sequence numbers to every known unsequenced message.
+  std::vector<std::pair<MsgId, std::int64_t>> assigned;
+  for (const MsgId& id : arrival_order_) {
+    if (delivered_.contains(id) || sn_of_.contains(id)) continue;
+    const std::int64_t sn = next_sn_++;
+    sn_of_.emplace(id, sn);
+    msg_at_.emplace(sn, id);
+    assigned.emplace_back(id, sn);
+  }
+  if (assigned.empty()) return;
+  batch_ends_.push_back(next_sn_ - 1);
+  std::vector<net::ProcessId> others;
+  for (net::ProcessId p : view_.members)
+    if (p != self_) others.push_back(p);
+  if (!others.empty())
+    sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
+                                std::make_shared<SeqnumMsg>(view_.id, std::move(assigned)));
+  if (cfg_.uniform) {
+    try_deliver_sequencer();
+  } else {
+    // Non-uniform: the sequencer delivers as soon as the order is fixed.
+    deliver_up_to(next_sn_ - 1);
+  }
+}
+
+void GmAbcastProcess::try_advance_ack() {
+  const std::int64_t before = ack_sn_;
+  while (true) {
+    auto it = msg_at_.find(ack_sn_ + 1);
+    if (it == msg_at_.end() || !msgs_.contains(it->second)) break;
+    ++ack_sn_;
+  }
+  if (ack_sn_ == before) return;
+  if (!member_ || frozen_) return;
+  if (cfg_.uniform) {
+    if (!is_sequencer())
+      sys_->node(self_).send(view_.members.front(), net::ProtocolId::kAtomicBroadcast,
+                             std::make_shared<AckMsg>(view_.id, ack_sn_));
+    deliver_up_to(std::min(announced_, ack_sn_));
+  } else {
+    // Non-uniform: deliver as soon as content + order are known.
+    deliver_up_to(ack_sn_);
+  }
+}
+
+void GmAbcastProcess::try_deliver_sequencer() {
+  if (!cfg_.uniform || !active_sequencer()) return;
+  // Cumulative ack coverage: sn is deliverable once a majority of the view
+  // (the sequencer included — it holds everything it assigned) covers it.
+  std::vector<std::int64_t> cover;
+  cover.push_back(next_sn_ - 1);
+  for (net::ProcessId p : view_.members) {
+    if (p == self_) continue;
+    auto it = acks_.find(p);
+    cover.push_back(it == acks_.end() ? sn_floor_ : it->second);
+  }
+  std::sort(cover.begin(), cover.end(), std::greater<>());
+  const std::int64_t deliverable = cover[view_.majority() - 1];
+  if (deliverable <= announced_) return;
+  const std::int64_t stable = cover.back();  // min over the whole view
+  announced_ = deliverable;
+  deliver_up_to(deliverable);
+  recent_delivered_.erase(recent_delivered_.begin(), recent_delivered_.upper_bound(stable));
+  std::vector<net::ProcessId> others;
+  for (net::ProcessId p : view_.members)
+    if (p != self_) others.push_back(p);
+  if (!others.empty())
+    sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
+                                std::make_shared<DeliverMsg>(view_.id, deliverable, stable));
+  // Batches may have completed: assign the next one if messages queued up.
+  sequence_pending();
+}
+
+void GmAbcastProcess::deliver_up_to(std::int64_t sn) {
+  while (deliver_sn_ < sn) {
+    auto it = msg_at_.find(deliver_sn_ + 1);
+    if (it == msg_at_.end()) break;
+    auto mit = msgs_.find(it->second);
+    if (mit == msgs_.end()) break;
+    ++deliver_sn_;
+    if (cfg_.uniform) recent_delivered_.emplace(deliver_sn_, mit->second);
+    deliver_msg(mit->second);
+  }
+}
+
+void GmAbcastProcess::deliver_msg(const AppMessagePtr& msg) {
+  if (!delivered_.insert(msg->id).second) return;
+  msgs_.erase(msg->id);  // content lives on in the log
+  log_.push_back(msg);
+  if (deliver_cb_) deliver_cb_(*msg);
+}
+
+// ---------------------------------------------------------------- messages
+
+void GmAbcastProcess::on_message(const net::Message& m) {
+  if (auto d = net::payload_cast<DataMsg>(m)) {
+    handle_data(d->msg);
+    return;
+  }
+  if (auto s = net::payload_cast<SeqnumMsg>(m)) {
+    if (s->view_id != view_.id) return;  // stale view: ignored, re-sequenced later
+    for (const auto& [id, sn] : s->pairs) {
+      if (sn <= sn_floor_) continue;
+      sn_of_.emplace(id, sn);
+      msg_at_.emplace(sn, id);
+    }
+    try_advance_ack();
+    return;
+  }
+  if (auto a = net::payload_cast<AckMsg>(m)) {
+    if (a->view_id != view_.id || !active_sequencer()) return;
+    auto [it, inserted] = acks_.try_emplace(m.src, a->cum);
+    if (!inserted) it->second = std::max(it->second, a->cum);
+    try_deliver_sequencer();
+    return;
+  }
+  if (auto del = net::payload_cast<DeliverMsg>(m)) {
+    if (del->view_id != view_.id || frozen_ || !member_) return;
+    announced_ = std::max(announced_, del->cum);
+    deliver_up_to(std::min(announced_, ack_sn_));
+    recent_delivered_.erase(recent_delivered_.begin(),
+                            recent_delivered_.upper_bound(del->stable));
+    if (announced_ > ack_sn_ && announced_ > requested_) {
+      // Gap repair (post-rejoin): ask the sequencer for what we miss.
+      requested_ = announced_;
+      sys_->node(self_).send(view_.members.front(), net::ProtocolId::kAtomicBroadcast,
+                             std::make_shared<NeedMsg>(view_.id, ack_sn_, announced_));
+    }
+    return;
+  }
+  if (auto need = net::payload_cast<NeedMsg>(m)) {
+    if (need->view_id != view_.id || !is_sequencer()) return;
+    std::vector<std::pair<MsgId, std::int64_t>> pairs;
+    const std::int64_t lo = std::max(need->from, sn_floor_);
+    for (std::int64_t sn = lo + 1; sn <= std::min(need->to, next_sn_ - 1); ++sn) {
+      auto it = msg_at_.find(sn);
+      if (it == msg_at_.end()) continue;
+      pairs.emplace_back(it->second, sn);
+      AppMessagePtr content;
+      if (auto mit = msgs_.find(it->second); mit != msgs_.end()) {
+        content = mit->second;
+      } else {
+        // Already delivered here: fetch from the log.
+        for (auto lit = log_.rbegin(); lit != log_.rend(); ++lit)
+          if ((*lit)->id == it->second) {
+            content = *lit;
+            break;
+          }
+      }
+      if (content)
+        sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast,
+                               std::make_shared<DataMsg>(content));
+    }
+    if (!pairs.empty())
+      sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast,
+                             std::make_shared<SeqnumMsg>(view_.id, std::move(pairs)));
+    return;
+  }
+  throw std::logic_error("GmAbcastProcess: foreign payload");
+}
+
+// --------------------------------------------------- membership client side
+
+gm::UnstableReport GmAbcastProcess::unstable_messages() const {
+  gm::UnstableReport report;
+  report.watermark = deliver_sn_;
+  report.entries.reserve(msgs_.size() + recent_delivered_.size());
+  // Undelivered messages, sequenced or not.
+  for (const MsgId& id : arrival_order_) {
+    auto it = msgs_.find(id);
+    if (it == msgs_.end()) continue;  // delivered
+    auto sit = sn_of_.find(id);
+    report.entries.push_back(
+        gm::UnstableEntry{it->second, sit == sn_of_.end() ? -1 : sit->second});
+  }
+  // Recently delivered sequenced messages: possibly undelivered elsewhere,
+  // so they must keep their sequence number through the view change.
+  for (const auto& [sn, msg] : recent_delivered_)
+    report.entries.push_back(gm::UnstableEntry{msg, sn});
+  return report;
+}
+
+void GmAbcastProcess::on_view_change_started() { frozen_ = true; }
+
+void GmAbcastProcess::flush(const std::vector<gm::UnstableEntry>& u, std::int64_t settled) {
+  // Canonical flush order: sequenced messages by sequence number, then
+  // unsequenced ones by id.  Every member applies the same decided vector,
+  // so the logs stay identical.
+  std::vector<gm::UnstableEntry> sequenced;
+  std::vector<gm::UnstableEntry> plain;
+  for (const gm::UnstableEntry& e : u)
+    (e.seqnum >= 0 ? sequenced : plain).push_back(e);
+  std::sort(sequenced.begin(), sequenced.end(),
+            [](const auto& a, const auto& b) { return a.seqnum < b.seqnum; });
+  std::sort(plain.begin(), plain.end(),
+            [](const auto& a, const auto& b) { return a.msg->id < b.msg->id; });
+
+  std::int64_t max_sn = sn_floor_;
+  for (const gm::UnstableEntry& e : sequenced) {
+    max_sn = std::max(max_sn, e.seqnum);
+    if (!delivered_.contains(e.msg->id)) {
+      msgs_.try_emplace(e.msg->id, e.msg);  // we may never have seen it
+      deliver_msg(e.msg);
+    }
+  }
+  for (const gm::UnstableEntry& e : plain)
+    if (!delivered_.contains(e.msg->id)) deliver_msg(e.msg);
+
+  // Everything up to the decided settled point is done; mappings above the
+  // floor belong to the dead view and will be re-assigned.
+  sn_floor_ = std::max({sn_floor_, max_sn, settled});
+  ack_sn_ = std::max(ack_sn_, sn_floor_);
+  deliver_sn_ = std::max(deliver_sn_, sn_floor_);
+  announced_ = std::max(announced_, sn_floor_);
+  requested_ = std::max(requested_, sn_floor_);
+  recent_delivered_.erase(recent_delivered_.begin(),
+                          recent_delivered_.upper_bound(sn_floor_));
+  drop_mappings_above_floor();
+}
+
+void GmAbcastProcess::drop_mappings_above_floor() {
+  for (auto it = msg_at_.begin(); it != msg_at_.end();) {
+    if (it->first > sn_floor_) {
+      sn_of_.erase(it->second);
+      it = msg_at_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GmAbcastProcess::on_view_installed(const gm::View& v, bool member) {
+  view_ = v;
+  member_ = member;
+  frozen_ = !member;
+  acks_.clear();
+  if (!member) return;
+
+  next_sn_ = sn_floor_ + 1;
+  batch_ends_.clear();  // no batch in flight in the fresh view
+  ack_sn_ = std::max(ack_sn_, sn_floor_);
+  deliver_sn_ = std::max(deliver_sn_, sn_floor_);
+  announced_ = std::max(announced_, sn_floor_);
+  if (active_sequencer()) sequence_pending();
+  try_advance_ack();
+  send_buffered();
+}
+
+void GmAbcastProcess::send_buffered() {
+  if (own_buffer_.empty()) return;
+  std::vector<AppMessagePtr> buf;
+  buf.swap(own_buffer_);
+  std::vector<net::ProcessId> others;
+  for (net::ProcessId p : view_.members)
+    if (p != self_) others.push_back(p);
+  for (const AppMessagePtr& msg : buf) {
+    if (!others.empty())
+      sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
+                                  std::make_shared<DataMsg>(msg));
+    handle_data(msg);
+  }
+}
+
+net::PayloadPtr GmAbcastProcess::make_state(std::uint64_t from) const {
+  auto st = std::make_shared<GmState>();
+  for (std::size_t i = from; i < log_.size(); ++i) st->log_suffix.push_back(log_[i]);
+  for (const MsgId& id : arrival_order_) {
+    auto it = msgs_.find(id);
+    if (it == msgs_.end()) continue;
+    auto sit = sn_of_.find(id);
+    st->known.emplace_back(it->second,
+                           sit == sn_of_.end() ? std::int64_t{-1} : sit->second);
+  }
+  st->sn_floor = sn_floor_;
+  st->settled = deliver_sn_;
+  return st;
+}
+
+void GmAbcastProcess::apply_state(const net::PayloadPtr& state, const gm::View& v) {
+  auto st = std::dynamic_pointer_cast<const GmState>(state);
+  if (!st) throw std::logic_error("GmAbcastProcess: bad state payload");
+  for (const AppMessagePtr& msg : st->log_suffix)
+    if (!delivered_.contains(msg->id)) deliver_msg(msg);
+  // Raise the floor first: mappings in `known` above the sender's floor are
+  // live assignments of the current view and must be kept.
+  sn_floor_ = std::max(sn_floor_, st->sn_floor);
+  drop_mappings_above_floor();  // our own leftovers from the dead view
+  recent_delivered_.erase(recent_delivered_.begin(),
+                          recent_delivered_.upper_bound(sn_floor_));
+  for (const auto& [msg, sn] : st->known) {
+    if (delivered_.contains(msg->id)) continue;
+    if (msgs_.try_emplace(msg->id, msg).second) arrival_order_.push_back(msg->id);
+    if (sn > sn_floor_) {
+      sn_of_.emplace(msg->id, sn);
+      msg_at_.emplace(sn, msg->id);
+    }
+  }
+  // The state sender's deliver point becomes our baseline: everything it
+  // delivered is in the suffix we just applied.
+  ack_sn_ = std::max(sn_floor_, st->settled);
+  deliver_sn_ = ack_sn_;
+  announced_ = ack_sn_;
+  requested_ = ack_sn_;
+  // Note: on_view_installed(v, true) follows immediately (membership layer).
+  (void)v;
+}
+
+}  // namespace fdgm::abcast

@@ -1,0 +1,148 @@
+// Fixed-sequencer uniform atomic broadcast on top of group membership —
+// the "GM algorithm" of the paper (§4.2).
+//
+// Data plane (failure-free path, identical message pattern to the FD
+// algorithm, Fig. 1):
+//   1. A-broadcast(m): the origin multicasts DATA(m) to the view;
+//   2. the sequencer (first member of the view) assigns m a sequence
+//      number and multicasts SEQNUM — several assignments per message
+//      under load (aggregation);
+//   3. every other member acknowledges with a *cumulative* ACK once it
+//      holds content + sequence number for everything up to sn;
+//   4. when a majority of the view covers sn, the sequencer A-delivers and
+//      multicasts a cumulative DELIVER; the others A-deliver in order.
+//
+// Reconfiguration is delegated to gm::GroupMembership: on a view change
+// the data plane freezes, exchanges unstable messages, flushes the decided
+// set U' and resumes in the next view (a new sequencer re-sequences every
+// pending message).  A wrongly excluded process buffers its own
+// A-broadcasts, rejoins via state transfer and then resumes.
+//
+// The non-uniform variant of §8 (two multicasts, no ack/deliver phase) is
+// available through GmAbcastConfig::uniform = false.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "abcast/abcast.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "fd/failure_detector.hpp"
+#include "gm/membership.hpp"
+#include "gm/view.hpp"
+#include "net/system.hpp"
+#include "rbcast/reliable_broadcast.hpp"
+
+namespace fdgm::abcast {
+
+struct GmAbcastConfig {
+  /// Uniform (4-phase) or non-uniform (2-multicast) delivery rule.
+  bool uniform = true;
+  /// Joiner retry period for the membership JOIN message (ms).
+  double join_retry = 50.0;
+};
+
+class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::MembershipClient,
+                              public net::Layer {
+ public:
+  GmAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
+                  GmAbcastConfig cfg = {});
+  ~GmAbcastProcess() override;
+
+  // AtomicBroadcastProcess
+  MsgId a_broadcast() override;
+  void set_deliver_callback(DeliverFn fn) override { deliver_cb_ = std::move(fn); }
+  [[nodiscard]] net::ProcessId id() const override { return self_; }
+  [[nodiscard]] std::uint64_t delivered_count() const override { return log_.size(); }
+
+  /// Delivery log (tests: total order / uniform agreement / view synchrony).
+  [[nodiscard]] const std::vector<AppMessagePtr>& log() const { return log_; }
+
+  [[nodiscard]] const gm::View& view() const { return membership_.view(); }
+  [[nodiscard]] const gm::GroupMembership& membership() const { return membership_; }
+  [[nodiscard]] bool is_sequencer() const {
+    return member_ && view_.members.front() == self_;
+  }
+
+  /// Test/debug access to the consensus endpoint.
+  [[nodiscard]] consensus::ConsensusService& consensus_dbg() { return consensus_; }
+
+  // gm::MembershipClient
+  [[nodiscard]] gm::UnstableReport unstable_messages() const override;
+  void on_view_change_started() override;
+  void flush(const std::vector<gm::UnstableEntry>& u, std::int64_t settled) override;
+  void on_view_installed(const gm::View& v, bool member) override;
+  [[nodiscard]] std::uint64_t log_length() const override { return log_.size(); }
+  [[nodiscard]] net::PayloadPtr make_state(std::uint64_t from) const override;
+  void apply_state(const net::PayloadPtr& state, const gm::View& v) override;
+
+  // net::Layer — DATA / SEQNUM / ACK / DELIVER / NEED.
+  void on_message(const net::Message& m) override;
+
+ private:
+  class DataMsg;
+  class SeqnumMsg;
+  class AckMsg;
+  class DeliverMsg;
+  class NeedMsg;
+  class GmState;
+
+  void handle_data(const AppMessagePtr& msg);
+  void sequence_pending();
+  void try_advance_ack();
+  void try_deliver_sequencer();
+  void deliver_up_to(std::int64_t sn);
+  void deliver_msg(const AppMessagePtr& msg);
+  void drop_mappings_above_floor();
+  void send_buffered();
+  [[nodiscard]] bool active_sequencer() const { return is_sequencer() && !frozen_; }
+
+  net::System* sys_;
+  net::ProcessId self_;
+  fd::FailureDetector* fd_;
+  GmAbcastConfig cfg_;
+  rbcast::ReliableBroadcast rb_;
+  consensus::ConsensusService consensus_;
+  gm::GroupMembership membership_;
+  DeliverFn deliver_cb_;
+
+  gm::View view_;  // data-plane copy of the current view
+  bool member_ = true;
+  bool frozen_ = false;
+
+  std::uint64_t next_msg_seq_ = 1;
+  std::unordered_map<MsgId, AppMessagePtr, MsgIdHash> msgs_;  // known content
+  std::vector<MsgId> arrival_order_;                          // sequencing order
+  std::unordered_map<MsgId, std::int64_t, MsgIdHash> sn_of_;
+  std::map<std::int64_t, MsgId> msg_at_;
+  std::unordered_set<MsgId, MsgIdHash> delivered_;
+  std::vector<AppMessagePtr> log_;
+
+  std::int64_t sn_floor_ = 0;    // everything <= floor is settled
+  std::int64_t ack_sn_ = 0;      // cumulative ack point (follower)
+  std::int64_t deliver_sn_ = 0;  // highest sequenced sn delivered
+  std::int64_t announced_ = 0;   // highest DELIVER cum seen / sent
+  std::int64_t requested_ = 0;   // NEED-repair throttle
+
+  // Recently delivered sequenced messages, kept until known stable (all
+  // members hold them): they may still be undelivered elsewhere and must
+  // keep their sequence number through a view change.
+  std::map<std::int64_t, AppMessagePtr> recent_delivered_;
+
+  // Sequencer state.  Batches run in a shallow pipeline (depth 2, like
+  // the FD algorithm's consensus instances): a new SEQNUM batch goes out
+  // while at most one earlier batch still awaits its DELIVER.  This is
+  // the aggregation mechanism (§4.2) and makes the failure-free pattern
+  // per batch identical to one consensus instance of the FD algorithm.
+  std::int64_t next_sn_ = 1;
+  std::vector<std::int64_t> batch_ends_;  // ends of unannounced batches
+  std::unordered_map<net::ProcessId, std::int64_t> acks_;
+
+  std::vector<AppMessagePtr> own_buffer_;  // A-broadcasts while excluded
+};
+
+}  // namespace fdgm::abcast

@@ -1,0 +1,209 @@
+// Chandra-Toueg ◇S consensus (JACM'96) with the optimizations the paper
+// applies (§4.1, footnote 4):
+//
+//  * Round 1 skips the estimate-collection phase: the first coordinator
+//    proposes its own initial value immediately (all timestamps are 0, so
+//    any estimate is admissible).
+//  * Processes advance rounds lazily: after acknowledging a proposal they
+//    wait for the decision and move to the next round only when they
+//    suspect the current coordinator (instead of free-running through
+//    rounds), so a failure-free instance costs exactly one proposal
+//    multicast, n-1 acks and one decision broadcast — the Fig. 1 pattern.
+//  * Phase 4 follows the published rule: the first majority of replies
+//    decides the round's fate — all ACKs: decide; any NACK: the round
+//    fails.  On failure the coordinator multicasts a ROUND-FAILED
+//    notification so that processes blocked waiting for the decision
+//    resynchronize into the next round immediately (without it, lazy
+//    round advancement can deadlock under asymmetric wrong suspicions).
+//    The notification costs nothing on the failure-free path.
+//  * A process that receives a proposal of a later round jumps to that
+//    round and acknowledges (safe: the estimate-locking argument of the
+//    algorithm does not depend on which rounds a process skips).
+//
+// The coordinator of round r is members[(offset + r - 1) mod |members|];
+// `offset` implements the coordinator re-numbering optimization discussed
+// for the crash-steady scenario (§7).
+//
+// Instances are value-agnostic: estimates/decisions are opaque payloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/message.hpp"
+#include "net/system.hpp"
+#include "rbcast/reliable_broadcast.hpp"
+
+namespace fdgm::consensus {
+
+/// Everything needed to start (or join) one instance.
+struct StartInfo {
+  /// Participating processes.  Majority quorums are relative to this set.
+  std::vector<net::ProcessId> members;
+  /// Rotation offset: coordinator of round 1 is members[offset % size].
+  int coordinator_offset = 0;
+  /// This process's initial value (proposed if it coordinates round 1).
+  net::PayloadPtr initial;
+  /// Optional: called when this process coordinates a round in which no
+  /// estimate carries a positive timestamp (no value was ever locked — any
+  /// proposal is safe).  Lets the client refresh the proposal with work
+  /// that arrived after the instance started, so messages queued behind a
+  /// stalled round are batched into its recovery instead of waiting.
+  std::function<net::PayloadPtr()> refresh;
+};
+
+class ConsensusService;
+
+/// One running Chandra-Toueg instance at one process.
+class Instance final : public fd::SuspicionListener {
+ public:
+  Instance(ConsensusService& service, InstanceKey key, net::ProcessId self, StartInfo info);
+  ~Instance() override;
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  /// Kick off participation (round-1 coordinator proposes here).
+  void start();
+
+  /// Handle an ESTIMATE / PROPOSE / ACK / NACK addressed to this instance.
+  void on_msg(net::ProcessId from, const ConsensusMsg& m);
+
+  /// The service marks the instance decided (decision arrived via rbcast).
+  void halt() { done_ = true; }
+
+  // fd::SuspicionListener
+  void on_suspect(net::ProcessId p) override;
+
+  [[nodiscard]] std::uint32_t round() const { return round_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] net::ProcessId coordinator(std::uint32_t r) const;
+
+ private:
+  struct RoundState {
+    // Coordinator side.
+    std::map<net::ProcessId, std::pair<net::PayloadPtr, std::uint32_t>> estimates;
+    std::set<net::ProcessId> acks;
+    std::set<net::ProcessId> nacks;
+    bool proposed = false;
+    bool resolved = false;  // coordinator saw its first majority of replies
+    net::PayloadPtr proposal;  // also set on participants when PROPOSE arrives
+    bool have_proposal = false;
+    bool failed = false;  // ROUND-FAILED received (or issued)
+    // Participant side.
+    bool acked = false;
+    bool nacked = false;
+    bool estimate_sent = false;
+  };
+
+  void try_progress();
+  void advance_to(std::uint32_t r);
+  RoundState& rs(std::uint32_t r) { return rounds_[r]; }
+  [[nodiscard]] std::size_t majority() const { return members_.size() / 2 + 1; }
+  void send_to_coordinator(std::uint32_t r, ConsensusMsg::Kind kind, net::PayloadPtr value,
+                           std::uint32_t ts);
+
+  ConsensusService* service_;
+  InstanceKey key_;
+  net::ProcessId self_;
+  std::vector<net::ProcessId> members_;
+  int offset_;
+  std::function<net::PayloadPtr()> refresh_;
+  net::PayloadPtr estimate_;
+  std::uint32_t ts_ = 0;
+  std::uint32_t round_ = 1;
+  bool done_ = false;
+  bool in_progress_ = false;  // re-entrancy guard for try_progress
+  std::map<std::uint32_t, RoundState> rounds_;
+};
+
+/// Per-process consensus endpoint: routes messages to instances, creates
+/// instances on demand (join-on-first-message), and disseminates/receives
+/// decisions through reliable broadcast.
+class ConsensusService final : public net::Layer {
+ public:
+  struct ContextConfig {
+    /// Invoked when a message arrives for an unknown instance.  Return the
+    /// StartInfo to join immediately, or nullopt to buffer the message
+    /// until a local start() (e.g. the membership layer joins a view
+    /// change only once it learned about it).
+    std::function<std::optional<StartInfo>(const InstanceKey&)> join;
+    /// Invoked exactly once per instance with the decision value.
+    std::function<void(const InstanceKey&, const net::PayloadPtr&)> on_decide;
+  };
+
+  ConsensusService(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
+                   rbcast::ReliableBroadcast& rb);
+  ~ConsensusService() override;
+
+  ConsensusService(const ConsensusService&) = delete;
+  ConsensusService& operator=(const ConsensusService&) = delete;
+
+  void register_context(std::uint32_t context, ContextConfig cfg);
+
+  /// Start instance `key` locally (no-op if already started or decided).
+  void start(const InstanceKey& key, StartInfo info);
+
+  /// Re-offer buffered messages of `context` to its join callback — used
+  /// when the client's readiness condition changed (e.g. the abcast
+  /// pipeline window advanced, or a view was installed).
+  void retry_buffered(std::uint32_t context);
+
+  [[nodiscard]] bool decided(const InstanceKey& key) const { return decided_.contains(key); }
+  [[nodiscard]] bool running(const InstanceKey& key) const { return instances_.contains(key); }
+
+  /// Introspection for tests/debugging: (round, coordinator of round) of a
+  /// running instance.
+  struct InstanceDebug {
+    std::uint32_t round = 0;
+    net::ProcessId coordinator = -1;
+    bool done = false;
+  };
+  [[nodiscard]] std::optional<InstanceDebug> debug_state(const InstanceKey& key) const {
+    auto it = instances_.find(key);
+    if (it == instances_.end()) return std::nullopt;
+    return InstanceDebug{it->second->round(), it->second->coordinator(it->second->round()),
+                         it->second->done()};
+  }
+
+  // net::Layer — ESTIMATE/PROPOSE/ACK/NACK arrive here.
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] net::System& system() { return *sys_; }
+  [[nodiscard]] net::ProcessId self() const { return self_; }
+  [[nodiscard]] fd::FailureDetector& fd() { return *fd_; }
+
+  // --- used by Instance ---
+  void unicast(net::ProcessId dst, const std::shared_ptr<const ConsensusMsg>& m);
+  void multicast(const std::vector<net::ProcessId>& dsts,
+                 const std::shared_ptr<const ConsensusMsg>& m);
+  /// Coordinator path: reliably broadcast the decision to the members.
+  void decide(const InstanceKey& key, const std::vector<net::ProcessId>& members,
+              net::PayloadPtr value);
+
+ private:
+  void on_decide_rb(const rbcast::RbId& id, net::ProcessId origin, const net::PayloadPtr& inner);
+  void dispatch(net::ProcessId from, const std::shared_ptr<const ConsensusMsg>& m);
+
+  net::System* sys_;
+  net::ProcessId self_;
+  fd::FailureDetector* fd_;
+  rbcast::ReliableBroadcast* rb_;
+  std::unordered_map<std::uint32_t, ContextConfig> contexts_;
+  std::unordered_map<InstanceKey, std::unique_ptr<Instance>, InstanceKeyHash> instances_;
+  std::unordered_map<InstanceKey, std::vector<std::pair<net::ProcessId, std::shared_ptr<const ConsensusMsg>>>,
+                     InstanceKeyHash>
+      buffered_;
+  std::unordered_set<InstanceKey, InstanceKeyHash> decided_;
+};
+
+}  // namespace fdgm::consensus

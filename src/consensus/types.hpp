@@ -1,0 +1,47 @@
+// Shared types of the consensus subsystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "net/message.hpp"
+
+namespace fdgm::consensus {
+
+/// Identifies one consensus instance.  `context` separates independent
+/// users of the service (the FD atomic broadcast sequence, the group
+/// membership view changes); `number` is the instance index within the
+/// context (consensus #k / view change #v).
+struct InstanceKey {
+  std::uint32_t context = 0;
+  std::uint64_t number = 0;
+
+  friend bool operator==(const InstanceKey&, const InstanceKey&) = default;
+};
+
+struct InstanceKeyHash {
+  std::size_t operator()(const InstanceKey& k) const {
+    return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.context) << 48) ^ k.number);
+  }
+};
+
+/// Wire message of the Chandra-Toueg algorithm.  ESTIMATE/ACK/NACK are
+/// unicast to the round's coordinator; PROPOSE is multicast by it; DECIDE
+/// travels via reliable broadcast (not through this payload's normal path).
+class ConsensusMsg final : public net::Payload {
+ public:
+  enum class Kind : std::uint8_t { kEstimate, kPropose, kAck, kNack, kRoundFailed, kDecide };
+
+  ConsensusMsg(InstanceKey key, Kind kind, std::uint32_t round, net::PayloadPtr value,
+               std::uint32_t ts)
+      : key(key), kind(kind), round(round), value(std::move(value)), ts(ts) {}
+
+  InstanceKey key;
+  Kind kind;
+  std::uint32_t round;
+  net::PayloadPtr value;  // estimate / proposal / decision (null for ack/nack)
+  std::uint32_t ts;       // estimate timestamp (ESTIMATE only)
+};
+
+}  // namespace fdgm::consensus

@@ -1,0 +1,73 @@
+// One fully wired simulated system: scheduler + network + failure-detector
+// model + one atomic-broadcast stack per process + workload + recorder.
+//
+// This is the object the scenario runner (and the examples) build once per
+// replica run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "abcast/abcast.hpp"
+#include "abcast/fd_abcast.hpp"
+#include "abcast/gm_abcast.hpp"
+#include "core/latency_recorder.hpp"
+#include "core/workload.hpp"
+#include "fd/qos_model.hpp"
+#include "net/system.hpp"
+
+namespace fdgm::core {
+
+enum class Algorithm {
+  kFd,            // Chandra-Toueg atomic broadcast (failure detectors)
+  kGm,            // fixed sequencer + group membership, uniform
+  kGmNonUniform,  // §8 extension: non-uniform fixed sequencer
+};
+
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+
+struct SimConfig {
+  Algorithm algorithm = Algorithm::kFd;
+  int n = 3;
+  double lambda = 1.0;
+  fd::QosParams fd_params;
+  std::uint64_t seed = 1;
+  /// FD-algorithm coordinator re-numbering optimization (paper §7).
+  bool fd_renumbering = true;
+  /// GM joiner retry period (ms).
+  double gm_join_retry = 50.0;
+};
+
+class SimRun {
+ public:
+  explicit SimRun(const SimConfig& cfg, WorkloadConfig wl = {});
+
+  SimRun(const SimRun&) = delete;
+  SimRun& operator=(const SimRun&) = delete;
+
+  [[nodiscard]] net::System& system() { return *sys_; }
+  [[nodiscard]] fd::QosFailureDetectorModel& fd_model() { return *fd_model_; }
+  [[nodiscard]] abcast::AtomicBroadcastProcess& proc(net::ProcessId p) {
+    return *procs_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] LatencyRecorder& recorder() { return recorder_; }
+  [[nodiscard]] Workload& workload() { return *workload_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// Starts the failure-detector renewal processes and the workload.
+  void start();
+
+  /// Convenience: run until simulated time t.
+  void run_until(sim::Time t) { sys_->scheduler().run_until(t); }
+
+ private:
+  SimConfig cfg_;
+  std::unique_ptr<net::System> sys_;
+  std::unique_ptr<fd::QosFailureDetectorModel> fd_model_;
+  std::vector<std::unique_ptr<abcast::AtomicBroadcastProcess>> procs_;
+  LatencyRecorder recorder_;
+  std::unique_ptr<Workload> workload_;
+};
+
+}  // namespace fdgm::core

@@ -1,0 +1,129 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdgm::core {
+
+namespace {
+
+/// One steady-state replica; returns (mean latency, stable, samples).
+struct ReplicaOutcome {
+  double mean = 0.0;
+  bool stable = false;
+  std::size_t samples = 0;
+};
+
+ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
+                              const std::vector<net::ProcessId>& initial_crashes,
+                              std::uint64_t seed) {
+  cfg.seed = seed;
+  SimRun run(cfg, WorkloadConfig{.throughput = sc.throughput});
+  for (net::ProcessId p : initial_crashes) run.system().crash_at(p, 0.0);
+  run.start();
+
+  auto& sched = run.system().scheduler();
+  const sim::Time t0 = sc.warmup_ms;
+
+  // Phase 1: run until `samples` messages were broadcast inside the
+  // measurement window and the minimum window length has elapsed.
+  sim::Time t_end = t0;
+  const double step = 250.0;
+  while (true) {
+    sched.run_until(sched.now() + step);
+    t_end = sched.now();
+    if (run.recorder().stale_undelivered(sched.now(), sc.stale_age_ms) > sc.unstable_backlog)
+      return {0.0, false, 0};
+    if (sched.now() > sc.max_time_ms) break;
+    const bool enough_samples =
+        run.recorder().broadcast_in_window(t0, t_end) >= sc.samples;
+    // The window must also be long enough for the stale-backlog check to
+    // see saturation (otherwise an overloaded run could "finish" before
+    // anything is old enough to count as stuck).
+    const bool window_long_enough =
+        (t_end - t0) >= std::max(sc.min_window_ms, sc.stale_age_ms);
+    if (enough_samples && window_long_enough) break;
+  }
+  run.workload().stop();
+
+  // Phase 2: drain — let every message of the window get delivered.
+  const sim::Time drain_deadline = sched.now() + 4.0 * sc.stale_age_ms;
+  while (run.recorder().undelivered_in_window(t0, t_end) > 0) {
+    sched.run_until(sched.now() + step);
+    if (sched.now() > drain_deadline) return {0.0, false, 0};
+  }
+
+  const util::RunningStats stats = run.recorder().window_stats(t0, t_end);
+  if (stats.count() == 0) return {0.0, false, 0};
+  return {stats.mean(), true, stats.count()};
+}
+
+}  // namespace
+
+PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
+                       const std::vector<net::ProcessId>& initial_crashes) {
+  std::vector<double> means;
+  PointResult out;
+  for (std::size_t r = 0; r < sc.replicas; ++r) {
+    const ReplicaOutcome o = steady_replica(cfg, sc, initial_crashes, cfg.seed + r);
+    if (!o.stable) {
+      out.stable = false;
+      continue;
+    }
+    means.push_back(o.mean);
+    out.total_samples += o.samples;
+  }
+  // A point is reported only when a clear majority of replicas converged;
+  // this mirrors the paper leaving unusable settings off the graphs.
+  if (means.size() * 2 <= sc.replicas) {
+    out.stable = false;
+    out.latency = util::MeanCi{std::nan(""), 0.0, means.size()};
+    return out;
+  }
+  out.latency = util::mean_ci_95(means);
+  return out;
+}
+
+TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc) {
+  std::vector<double> lats;
+  for (std::size_t r = 0; r < tc.replicas; ++r) {
+    SimConfig c = cfg;
+    c.seed = cfg.seed + r;
+    SimRun run(c, WorkloadConfig{.throughput = tc.throughput});
+    run.start();
+    run.run_until(tc.warmup_ms);
+
+    // At tc: crash p and have q A-broadcast the probe message.
+    abcast::MsgId probe{};
+    run.system().crash(tc.crash);
+    probe = run.proc(tc.sender).a_broadcast();
+    run.recorder().on_broadcast(probe, run.system().now());
+
+    auto& sched = run.system().scheduler();
+    const sim::Time deadline = sched.now() + tc.probe_timeout_ms;
+    while (run.recorder().latency_of(probe) < 0 && sched.now() < deadline)
+      sched.run_until(sched.now() + 50.0);
+    const double L = run.recorder().latency_of(probe);
+    if (L < 0) return TransientResult{util::MeanCi{std::nan(""), 0.0, 0}, false};
+    lats.push_back(L);
+  }
+  return TransientResult{util::mean_ci_95(lats), true};
+}
+
+TransientResult run_transient_worst_sender(const SimConfig& cfg, TransientConfig tc) {
+  TransientResult worst{util::MeanCi{}, true};
+  bool first = true;
+  for (net::ProcessId q = 0; q < cfg.n; ++q) {
+    if (q == tc.crash) continue;
+    tc.sender = q;
+    const TransientResult r = run_transient(cfg, tc);
+    if (!r.stable) return r;
+    if (first || r.latency.mean > worst.latency.mean) {
+      worst = r;
+      first = false;
+    }
+  }
+  return worst;
+}
+
+}  // namespace fdgm::core

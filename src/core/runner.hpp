@@ -1,0 +1,65 @@
+// Scenario runner: executes the paper's four benchmark scenarios (§5.2)
+// over replica runs and aggregates the latency statistics with 95%
+// confidence intervals, exactly the way the paper's graphs report them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace fdgm::core {
+
+struct SteadyConfig {
+  double throughput = 100.0;  // T, messages per second
+  double warmup_ms = 2000.0;
+  /// Target number of measured messages per replica.
+  std::size_t samples = 600;
+  /// Minimum measurement window (ms) — lets rare failure-detector mistakes
+  /// show up at large TMR even when `samples` are collected quickly.
+  double min_window_ms = 0.0;
+  /// Hard cap on simulated time per replica (ms).
+  double max_time_ms = 120000.0;
+  /// Declare the run unstable when this many messages sit undelivered for
+  /// more than `stale_age_ms`.
+  std::size_t unstable_backlog = 400;
+  double stale_age_ms = 4000.0;
+  /// Independent replica runs (seeds seed, seed+1, ...).
+  std::size_t replicas = 5;
+};
+
+struct PointResult {
+  util::MeanCi latency;  // over replica means, ms
+  bool stable = true;    // false: saturated / did not converge
+  std::size_t total_samples = 0;
+};
+
+/// Steady-state scenarios.  `initial_crashes` are crashed at t=0 (use
+/// fd_params.detection_time = 0 to model "crashed a long time ago").
+PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
+                       const std::vector<net::ProcessId>& initial_crashes = {});
+
+struct TransientConfig {
+  double throughput = 100.0;
+  double warmup_ms = 1000.0;
+  net::ProcessId crash = 0;   // p: process crashed at tc (coordinator/sequencer)
+  net::ProcessId sender = 1;  // q: process that A-broadcasts m at tc
+  double probe_timeout_ms = 30000.0;
+  std::size_t replicas = 10;
+};
+
+struct TransientResult {
+  util::MeanCi latency;  // of the probe message, ms
+  bool stable = true;
+};
+
+/// Crash-transient scenario: p crashes at tc and q A-broadcasts m at tc;
+/// reports the mean latency of m over the replicas.
+TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc);
+
+/// Max over senders q != crash of run_transient, the paper's L_crash
+/// definition restricted to a fixed crashed process.
+TransientResult run_transient_worst_sender(const SimConfig& cfg, TransientConfig tc);
+
+}  // namespace fdgm::core

@@ -1,0 +1,34 @@
+#include "fd/failure_detector.hpp"
+
+#include <algorithm>
+
+namespace fdgm::fd {
+
+std::vector<net::ProcessId> FailureDetector::suspected() const {
+  std::vector<net::ProcessId> out;
+  for (std::size_t i = 0; i < suspected_.size(); ++i)
+    if (suspected_[i]) out.push_back(static_cast<net::ProcessId>(i));
+  return out;
+}
+
+void FailureDetector::remove_listener(SuspicionListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l), listeners_.end());
+}
+
+void FailureDetector::set_suspected(net::ProcessId p, bool s) {
+  auto idx = static_cast<std::size_t>(p);
+  if (suspected_.at(idx) == s) return;
+  suspected_[idx] = s;
+  if (s) ++edges_;
+  // Copy: a listener callback may add/remove listeners while we iterate.
+  auto snapshot = listeners_;
+  for (auto* l : snapshot) {
+    if (std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) continue;
+    if (s)
+      l->on_suspect(p);
+    else
+      l->on_trust(p);
+  }
+}
+
+}  // namespace fdgm::fd

@@ -1,0 +1,60 @@
+// Per-process failure-detector module: the oracle each algorithm queries
+// and subscribes to.  The module is driven by QosFailureDetectorModel —
+// it never exchanges messages itself (the paper models failure detectors
+// abstractly through their QoS, not through a concrete heartbeat protocol).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace fdgm::fd {
+
+/// Edge-triggered notifications of suspicion changes at one process.
+class SuspicionListener {
+ public:
+  SuspicionListener() = default;
+  SuspicionListener(const SuspicionListener&) = delete;
+  SuspicionListener& operator=(const SuspicionListener&) = delete;
+  virtual ~SuspicionListener() = default;
+
+  /// The local failure detector started suspecting p.
+  virtual void on_suspect(net::ProcessId p) = 0;
+
+  /// The local failure detector stopped suspecting p.
+  virtual void on_trust(net::ProcessId p) {}
+};
+
+class FailureDetector {
+ public:
+  FailureDetector(net::ProcessId owner, int n)
+      : owner_(owner), suspected_(static_cast<std::size_t>(n), false) {}
+
+  [[nodiscard]] net::ProcessId owner() const { return owner_; }
+
+  /// Does this process currently suspect p?
+  [[nodiscard]] bool suspects(net::ProcessId p) const {
+    return suspected_.at(static_cast<std::size_t>(p));
+  }
+
+  /// Snapshot of all currently suspected processes.
+  [[nodiscard]] std::vector<net::ProcessId> suspected() const;
+
+  void add_listener(SuspicionListener* l) { listeners_.push_back(l); }
+  void remove_listener(SuspicionListener* l);
+
+  /// Driven by the QoS model; fires listener callbacks on edges.
+  void set_suspected(net::ProcessId p, bool s);
+
+  /// Number of suspect-edges raised so far (for tests).
+  [[nodiscard]] std::uint64_t suspicion_edges() const { return edges_; }
+
+ private:
+  net::ProcessId owner_;
+  std::vector<bool> suspected_;
+  std::vector<SuspicionListener*> listeners_;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace fdgm::fd

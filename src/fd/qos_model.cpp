@@ -1,0 +1,87 @@
+#include "fd/qos_model.hpp"
+
+#include <stdexcept>
+
+namespace fdgm::fd {
+
+QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams params)
+    : sys_(&sys), params_(params) {
+  if (params_.detection_time < 0)
+    throw std::invalid_argument("QosFailureDetectorModel: negative TD");
+  if (params_.wrong_suspicions && params_.mistake_recurrence <= 0)
+    throw std::invalid_argument("QosFailureDetectorModel: TMR must be positive");
+  if (params_.mistake_duration < 0)
+    throw std::invalid_argument("QosFailureDetectorModel: negative TM");
+
+  const int n = sys.n();
+  fds_.reserve(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) fds_.push_back(std::make_unique<FailureDetector>(q, n));
+
+  pairs_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  sim::Rng base = sys.rng().fork("fd-qos-model");
+  for (int q = 0; q < n; ++q)
+    for (int p = 0; p < n; ++p)
+      pairs_.push_back(PairState{
+          base.fork(static_cast<std::uint64_t>(q) * static_cast<std::uint64_t>(n) +
+                    static_cast<std::uint64_t>(p)),
+          false});
+
+  sys.add_crash_listener([this](net::ProcessId p, sim::Time t) { on_crash(p, t); });
+}
+
+QosFailureDetectorModel::PairState& QosFailureDetectorModel::pair(net::ProcessId q,
+                                                                  net::ProcessId p) {
+  return pairs_.at(static_cast<std::size_t>(q) * static_cast<std::size_t>(sys_->n()) +
+                   static_cast<std::size_t>(p));
+}
+
+void QosFailureDetectorModel::on_crash(net::ProcessId p, sim::Time when) {
+  for (net::ProcessId q : sys_->all()) {
+    if (q == p) continue;
+    sys_->scheduler().schedule_at(when + params_.detection_time, [this, q, p] {
+      pair(q, p).crashed_permanent = true;
+      if (sys_->node(q).crashed()) return;  // a dead monitor notifies nobody
+      at(q).set_suspected(p, true);
+    });
+  }
+}
+
+void QosFailureDetectorModel::start() {
+  if (started_) return;
+  started_ = true;
+  if (!params_.wrong_suspicions) return;
+  for (net::ProcessId q : sys_->all())
+    for (net::ProcessId p : sys_->all())
+      if (q != p) schedule_next_mistake(q, p, sys_->now());
+}
+
+void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::ProcessId p,
+                                                    sim::Time from) {
+  const double gap = pair(q, p).rng.exponential(params_.mistake_recurrence);
+  sys_->scheduler().schedule_at(from + gap, [this, q, p] {
+    PairState& st = pair(q, p);
+    // A permanently suspected (crashed) target ends the renewal process;
+    // so does the crash of the monitoring process itself.
+    if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
+
+    const sim::Time start = sys_->now();
+    const double duration = st.rng.exponential(params_.mistake_duration);
+    at(q).set_suspected(p, true);
+
+    // End of this mistake.  Overlapping mistakes (next start before this
+    // end) keep the pair suspected: the trust event only fires when no
+    // later mistake extended the suspicion window.
+    const sim::Time until = start + duration;
+    if (st.suspect_until < until) st.suspect_until = until;
+    sys_->scheduler().schedule_at(until, [this, q, p, until] {
+      PairState& s2 = pair(q, p);
+      if (s2.crashed_permanent) return;
+      if (until < s2.suspect_until) return;  // a later mistake extended it
+      at(q).set_suspected(p, false);
+    });
+
+    schedule_next_mistake(q, p, start);
+  });
+}
+
+}  // namespace fdgm::fd

@@ -1,0 +1,58 @@
+// Drives all failure-detector modules from the QoS parameters (paper §6.2):
+//
+//  * crash of p at time t  →  every q suspects p permanently at t + TD;
+//  * wrong suspicions of a correct p at q follow a renewal process: mistake
+//    starts are spaced Exp(TMR) apart, each mistake lasts Exp(TM).
+//
+// Each ordered pair (q monitors p) owns an independent RNG sub-stream, so
+// modules are independent and identically distributed, and the schedule of
+// pair (q,p) is invariant to what other pairs do.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fd/failure_detector.hpp"
+#include "fd/qos_params.hpp"
+#include "net/system.hpp"
+#include "sim/rng.hpp"
+
+namespace fdgm::fd {
+
+class QosFailureDetectorModel {
+ public:
+  QosFailureDetectorModel(net::System& sys, QosParams params);
+
+  QosFailureDetectorModel(const QosFailureDetectorModel&) = delete;
+  QosFailureDetectorModel& operator=(const QosFailureDetectorModel&) = delete;
+
+  /// The failure-detector module of process q.
+  [[nodiscard]] FailureDetector& at(net::ProcessId q) {
+    return *fds_.at(static_cast<std::size_t>(q));
+  }
+
+  [[nodiscard]] const QosParams& params() const { return params_; }
+
+  /// Launch the wrong-suspicion renewal processes (no-op unless
+  /// params.wrong_suspicions).  Call once, before running the simulation.
+  void start();
+
+ private:
+  struct PairState {
+    sim::Rng rng;
+    bool crashed_permanent = false;   // p crashed; suspicion is final
+    sim::Time suspect_until = 0.0;    // end of the latest mistake window
+  };
+
+  void on_crash(net::ProcessId p, sim::Time when);
+  void schedule_next_mistake(net::ProcessId q, net::ProcessId p, sim::Time from);
+  PairState& pair(net::ProcessId q, net::ProcessId p);
+
+  net::System* sys_;
+  QosParams params_;
+  std::vector<std::unique_ptr<FailureDetector>> fds_;
+  std::vector<PairState> pairs_;  // n*n, row = monitor q, col = target p
+  bool started_ = false;
+};
+
+}  // namespace fdgm::fd

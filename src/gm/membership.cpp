@@ -1,0 +1,408 @@
+#include "gm/membership.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace fdgm::gm {
+
+namespace {
+constexpr std::uint32_t kMembershipContext = 1;
+
+/// Coordinator rotation for view-change consensus: the plain rotation of
+/// the underlying consensus (round 1 is coordinated by the lowest-id
+/// member).  When the crashed process is the sequencer this costs an
+/// extra round — part of why the paper finds the view change more
+/// expensive than the FD algorithm's recovery (§4.4, Fig. 8).
+int vc_offset(const View& v) {
+  (void)v;
+  return 0;
+}
+}  // namespace
+
+// ------------------------------------------------------------ wire payloads
+
+/// The view-change signal the initiating process multicasts (paper §4.3,
+/// step 1 of the five-step view change).
+class GroupMembership::VcSignalPayload final : public net::Payload {
+ public:
+  explicit VcSignalPayload(std::uint64_t view_id) : view_id(view_id) {}
+  std::uint64_t view_id;
+};
+
+/// Unstable-message announcement (step 2).
+class GroupMembership::UnstableMsgPayload final : public net::Payload {
+ public:
+  UnstableMsgPayload(std::uint64_t view_id, UnstableReport report, std::vector<Joiner> joiners)
+      : view_id(view_id), report(std::move(report)), joiners(std::move(joiners)) {}
+  std::uint64_t view_id;
+  UnstableReport report;
+  std::vector<Joiner> joiners;
+};
+
+class GroupMembership::JoinPayload final : public net::Payload {
+ public:
+  explicit JoinPayload(std::uint64_t log_len) : log_len(log_len) {}
+  std::uint64_t log_len;
+};
+
+class GroupMembership::StatePayload final : public net::Payload {
+ public:
+  StatePayload(View view, net::PayloadPtr state) : view(std::move(view)), state(std::move(state)) {}
+  View view;
+  net::PayloadPtr state;
+};
+
+/// Consensus value of a view change: (P, U, J) plus the settled watermark.
+class GroupMembership::MembershipProposal final : public net::Payload {
+ public:
+  MembershipProposal(std::vector<net::ProcessId> members, std::vector<UnstableEntry> unstable,
+                     std::vector<Joiner> joiners, std::int64_t settled)
+      : members(std::move(members)),
+        unstable(std::move(unstable)),
+        joiners(std::move(joiners)),
+        settled(settled) {}
+  std::vector<net::ProcessId> members;  // P
+  std::vector<UnstableEntry> unstable;  // U
+  std::vector<Joiner> joiners;          // J
+  std::int64_t settled;                 // max delivery watermark / sn in U
+};
+
+// ------------------------------------------------------------ construction
+
+GroupMembership::GroupMembership(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
+                                 rbcast::ReliableBroadcast& rb,
+                                 consensus::ConsensusService& consensus,
+                                 MembershipClient& client, MembershipConfig cfg)
+    : sys_(&sys),
+      self_(self),
+      fd_(&fd),
+      rb_(&rb),
+      consensus_(&consensus),
+      client_(&client),
+      cfg_(cfg) {
+  view_ = View{0, sys.all()};
+  sys.node(self).register_handler(net::ProtocolId::kMembership, this);
+  fd.add_listener(this);
+  consensus.register_context(
+      kMembershipContext,
+      consensus::ConsensusService::ContextConfig{
+          // Never join eagerly: the paper's protocol enters consensus only
+          // once the unstable messages of every unsuspected member are in.
+          // Early consensus traffic is buffered by the service; if we are
+          // a member that has not yet noticed the view change, enter it.
+          .join =
+              [this](const consensus::InstanceKey& key) -> std::optional<consensus::StartInfo> {
+                if (key.number == view_.id && status_ == Status::kMember) {
+                  sys_->scheduler().schedule_after(0, [this, vid = key.number] {
+                    if (status_ == Status::kMember && view_.id == vid)
+                      start_view_change(/*initiator=*/false);
+                  });
+                }
+                return std::nullopt;
+              },
+          .on_decide = [this](const consensus::InstanceKey& key,
+                              const net::PayloadPtr& value) { on_decide(key, value); },
+      });
+}
+
+GroupMembership::~GroupMembership() {
+  fd_->remove_listener(this);
+  sys_->node(self_).register_handler(net::ProtocolId::kMembership, nullptr);
+}
+
+// -------------------------------------------------------------- suspicions
+
+void GroupMembership::on_suspect(net::ProcessId p) {
+  if (p == self_) return;
+  switch (status_) {
+    case Status::kMember:
+      if (view_.contains(p)) start_view_change(/*initiator=*/true);
+      break;
+    case Status::kViewChange:
+      // The snapshot of this attempt grows: we stop waiting for p and our
+      // proposal will not include it.
+      if (view_.contains(p)) vc_suspected_.insert(p);
+      maybe_start_consensus();
+      break;
+    case Status::kExcluded:
+    case Status::kJoining:
+      break;  // not our view change
+  }
+}
+
+void GroupMembership::on_trust(net::ProcessId p) {
+  (void)p;
+  // The snapshot is sticky (a point mistake still excludes), but the end
+  // of a suspicion can unblock a *refreshed* attempt: re-evaluate.
+  if (status_ == Status::kViewChange) maybe_start_consensus();
+}
+
+// -------------------------------------------------------------- view change
+
+void GroupMembership::start_view_change(bool initiator) {
+  if (status_ != Status::kMember) return;
+  status_ = Status::kViewChange;
+  consensus_started_ = false;
+  unstable_received_.clear();
+  client_->on_view_change_started();
+
+  std::vector<net::ProcessId> others;
+  for (net::ProcessId p : view_.members)
+    if (p != self_) others.push_back(p);
+
+  // Snapshot the suspect set of this attempt (paper: the proposal is made
+  // of "all processes it does not suspect").
+  vc_suspected_.clear();
+  for (net::ProcessId p : others)
+    if (fd_->suspects(p)) vc_suspected_.insert(p);
+
+  // Step 1 (initiator only): the view-change signal.
+  if (initiator && !others.empty())
+    sys_->node(self_).multicast(others, net::ProtocolId::kMembership,
+                                std::make_shared<VcSignalPayload>(view_.id));
+
+  // Step 2: announce our unstable messages.
+  unstable_received_[self_] = client_->unstable_messages();
+  std::vector<Joiner> js(joiners_.begin(), joiners_.end());
+  auto payload =
+      std::make_shared<UnstableMsgPayload>(view_.id, unstable_received_[self_], std::move(js));
+  if (!others.empty())
+    sys_->node(self_).multicast(others, net::ProtocolId::kMembership, payload);
+  maybe_start_consensus();
+}
+
+void GroupMembership::maybe_start_consensus() {
+  if (status_ != Status::kViewChange || consensus_started_) return;
+  // Proceed once we hold the unstable messages of every member not in the
+  // attempt's suspicion snapshot — and they form at least a majority
+  // (otherwise the next view could not make progress).
+  std::vector<net::ProcessId> p_set;
+  bool waiting = false;
+  for (net::ProcessId q : view_.members) {
+    const bool have = unstable_received_.contains(q);
+    const bool excluded = vc_suspected_.contains(q) && q != self_;
+    if (!have && !excluded) waiting = true;
+    if (have && !excluded) p_set.push_back(q);
+  }
+  if (waiting) return;
+  if (p_set.size() < view_.majority()) {
+    // Too many members in the snapshot: this attempt cannot form a valid
+    // view.  Refresh the snapshot shortly — with short mistakes (small
+    // TM) the next attempt proceeds; with long ones the view change
+    // stalls for ~TM, which is the GM algorithm's TM sensitivity (Fig 7).
+    schedule_attempt_refresh();
+    return;
+  }
+
+  // U = union of all received unstable sets; a message sequenced anywhere
+  // keeps its sequence number.  The settled watermark is the max of the
+  // contributors' delivery watermarks and of the sequence numbers in U.
+  std::map<abcast::MsgId, UnstableEntry> u;
+  std::int64_t settled = 0;
+  for (const auto& [q, report] : unstable_received_) {
+    settled = std::max(settled, report.watermark);
+    for (const UnstableEntry& e : report.entries) {
+      auto [it, inserted] = u.try_emplace(e.msg->id, e);
+      if (!inserted && e.seqnum >= 0) it->second.seqnum = e.seqnum;
+      settled = std::max(settled, e.seqnum);
+    }
+  }
+  std::vector<UnstableEntry> u_vec;
+  u_vec.reserve(u.size());
+  for (auto& [id, e] : u) u_vec.push_back(e);
+
+  // J = known joiners that are not already members.
+  std::vector<Joiner> j_vec;
+  for (const Joiner& j : joiners_)
+    if (!view_.contains(j.p)) j_vec.push_back(j);
+
+  consensus_started_ = true;
+  consensus_->start(
+      consensus::InstanceKey{kMembershipContext, view_.id},
+      consensus::StartInfo{
+          .members = view_.members,
+          .coordinator_offset = vc_offset(view_),
+          .initial = std::make_shared<MembershipProposal>(std::move(p_set), std::move(u_vec),
+                                                          std::move(j_vec), settled),
+      });
+}
+
+void GroupMembership::schedule_attempt_refresh() {
+  if (refresh_scheduled_) return;
+  refresh_scheduled_ = true;
+  sys_->scheduler().schedule_after(1.0, [this] {
+    refresh_scheduled_ = false;
+    if (status_ != Status::kViewChange || consensus_started_) return;
+    vc_suspected_.clear();
+    for (net::ProcessId p : view_.members)
+      if (p != self_ && fd_->suspects(p)) vc_suspected_.insert(p);
+    maybe_start_consensus();
+  });
+}
+
+// ----------------------------------------------------------------- decision
+
+void GroupMembership::on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value) {
+  if (key.number != view_.id) return;  // stale (relayed) or future decision
+  if (status_ == Status::kExcluded || status_ == Status::kJoining) return;
+  auto d = std::dynamic_pointer_cast<const MembershipProposal>(value);
+  if (!d) throw std::logic_error("GroupMembership: bad decision payload");
+  process_decision(*d);
+}
+
+void GroupMembership::process_decision(const MembershipProposal& d) {
+  if (getenv("FDGM_TRACE_VC")) {
+    std::fprintf(stderr, "[%.2f] p%d decision view%llu: P'={", sys_->now(), self_,
+                 (unsigned long long)view_.id);
+    for (auto p : d.members) std::fprintf(stderr, "%d,", p);
+    std::fprintf(stderr, "} J'=%zu U'=%zu\n", d.joiners.size(), d.unstable.size());
+  }
+  if (status_ == Status::kMember) {
+    // The decision overtook the unstable announcements: freeze now.
+    status_ = Status::kViewChange;
+    client_->on_view_change_started();
+  }
+  client_->flush(d.unstable, d.settled);
+
+  // Survivors keep view order; joiners are appended (View doc).
+  View nv;
+  nv.id = view_.id + 1;
+  nv.members = d.members;
+  for (const Joiner& j : d.joiners)
+    if (!nv.contains(j.p)) nv.members.push_back(j.p);
+
+  // Reset view-change state; drop joiners that are members of the new
+  // view (whether via this decision's J or an earlier readmission).
+  unstable_received_.clear();
+  consensus_started_ = false;
+  for (auto it = joiners_.begin(); it != joiners_.end();)
+    it = nv.contains(it->p) ? joiners_.erase(it) : std::next(it);
+
+  if (nv.contains(self_)) {
+    install_view(nv);
+    // State transfer: the lowest-id member that is not itself a joiner
+    // sends each joiner the log suffix it missed.
+    std::vector<net::ProcessId> joiner_ids;
+    for (const Joiner& j : d.joiners) joiner_ids.push_back(j.p);
+    net::ProcessId responsible = -1;
+    for (net::ProcessId p : nv.members) {
+      if (std::find(joiner_ids.begin(), joiner_ids.end(), p) == joiner_ids.end()) {
+        responsible = p;
+        break;
+      }
+    }
+    if (responsible == self_) {
+      for (const Joiner& j : d.joiners) {
+        auto state = std::make_shared<StatePayload>(nv, client_->make_state(j.log_len));
+        sys_->node(self_).send(j.p, net::ProtocolId::kMembership, state);
+      }
+    }
+  } else {
+    become_excluded(nv);
+  }
+}
+
+void GroupMembership::install_view(View v) {
+  view_ = std::move(v);
+  status_ = Status::kMember;
+  ++views_installed_;
+  client_->on_view_installed(view_, true);
+  replay_future(view_.id);
+  check_pending_suspicions();
+}
+
+void GroupMembership::check_pending_suspicions() {
+  if (status_ != Status::kMember) return;
+  // Level-triggered re-check: a suspicion that outlived the view change
+  // (long TM), or a join request not yet admitted, starts the next one.
+  bool trigger = false;
+  for (const Joiner& j : joiners_)
+    if (!view_.contains(j.p)) trigger = true;
+  for (net::ProcessId p : view_.members)
+    if (p != self_ && fd_->suspects(p)) trigger = true;
+  if (trigger) start_view_change(/*initiator=*/true);
+}
+
+void GroupMembership::replay_future(std::uint64_t view_id) {
+  auto it = future_.find(view_id);
+  if (it == future_.end()) return;
+  auto msgs = std::move(it->second);
+  future_.erase(it);
+  for (const net::Message& m : msgs) on_message(m);
+  // Drop anything older than the current view.
+  while (!future_.empty() && future_.begin()->first < view_.id) future_.erase(future_.begin());
+}
+
+// ----------------------------------------------------------------- exclusion
+
+void GroupMembership::become_excluded(const View& new_view) {
+  view_ = new_view;  // remember whom to ask for readmission
+  status_ = Status::kJoining;
+  join_view_hint_ = new_view.id;
+  join_targets_ = new_view.members;
+  client_->on_view_installed(new_view, false);
+  send_join();
+}
+
+void GroupMembership::send_join() {
+  if (status_ != Status::kJoining) return;
+  auto payload = std::make_shared<JoinPayload>(client_->log_length());
+  sys_->node(self_).multicast(join_targets_, net::ProtocolId::kMembership, payload);
+  sys_->scheduler().schedule_after(cfg_.join_retry, [this] { send_join(); });
+}
+
+// ----------------------------------------------------------------- messages
+
+void GroupMembership::on_message(const net::Message& m) {
+  if (auto sig = net::payload_cast<VcSignalPayload>(m)) {
+    if (sig->view_id < view_.id) return;  // stale
+    if (sig->view_id > view_.id) {
+      future_[sig->view_id].push_back(m);
+      return;
+    }
+    if (status_ == Status::kMember) start_view_change(/*initiator=*/false);
+    return;
+  }
+  if (auto u = net::payload_cast<UnstableMsgPayload>(m)) {
+    if (u->view_id < view_.id) return;  // stale
+    if (u->view_id > view_.id) {
+      future_[u->view_id].push_back(m);
+      return;
+    }
+    if (status_ == Status::kExcluded || status_ == Status::kJoining) return;
+    for (const Joiner& j : u->joiners) joiners_.insert(j);
+    if (status_ == Status::kMember) start_view_change(/*initiator=*/false);  // just learned
+    unstable_received_[m.src] = u->report;
+    maybe_start_consensus();
+    return;
+  }
+  if (auto j = net::payload_cast<JoinPayload>(m)) {
+    if (status_ == Status::kExcluded || status_ == Status::kJoining) return;
+    if (view_.contains(m.src)) return;  // stale retry: already readmitted
+    joiners_.insert(Joiner{m.src, j->log_len});
+    if (status_ == Status::kMember)
+      start_view_change(/*initiator=*/true);
+    // If a view change is already running, the joiner is picked up either
+    // by this round's proposal (if not yet proposed) or by the re-check
+    // after installation.
+    return;
+  }
+  if (auto s = net::payload_cast<StatePayload>(m)) {
+    if (status_ != Status::kJoining) return;
+    if (s->view.id < join_view_hint_) return;  // stale state
+    client_->apply_state(s->state, s->view);
+    view_ = s->view;
+    status_ = Status::kMember;
+    ++views_installed_;
+    client_->on_view_installed(view_, true);
+    replay_future(view_.id);
+    check_pending_suspicions();
+    return;
+  }
+  throw std::logic_error("GroupMembership: foreign payload");
+}
+
+}  // namespace fdgm::gm

@@ -1,0 +1,32 @@
+// Views of the process group (paper §4.3).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace fdgm::gm {
+
+struct View {
+  std::uint64_t id = 0;
+  /// Members in view order: survivors keep their relative order across
+  /// view changes and joiners are appended at the end, so the sequencer
+  /// (the first member) stays stable as long as it is not excluded.
+  std::vector<net::ProcessId> members;
+
+  [[nodiscard]] bool contains(net::ProcessId p) const {
+    return std::find(members.begin(), members.end(), p) != members.end();
+  }
+
+  /// The sequencer is the first process of the current view (paper §4.2).
+  [[nodiscard]] net::ProcessId sequencer() const { return members.front(); }
+
+  [[nodiscard]] std::size_t size() const { return members.size(); }
+  [[nodiscard]] std::size_t majority() const { return members.size() / 2 + 1; }
+
+  friend bool operator==(const View&, const View&) = default;
+};
+
+}  // namespace fdgm::gm

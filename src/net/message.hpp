@@ -1,0 +1,59 @@
+// Message and addressing primitives shared by all protocol layers.
+//
+// A message carries an immutable, shared payload.  Layers dispatch on the
+// protocol id; the payload's dynamic type is protocol-private.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fdgm::net {
+
+/// Dense process identifier: 0 .. n-1.
+using ProcessId = int;
+
+/// Pseudo-destination meaning "all processes" (multicast).
+inline constexpr ProcessId kBroadcast = -1;
+
+/// Identifies the protocol layer a message belongs to.  Each Node routes
+/// incoming messages to the handler registered for the message's protocol.
+enum class ProtocolId : std::uint8_t {
+  kApplication = 0,
+  kReliableBroadcast,
+  kConsensus,
+  kAtomicBroadcast,
+  kMembership,
+  kStateTransfer,
+  kWorkload,
+  kCount,
+};
+
+inline constexpr std::size_t kProtocolCount = static_cast<std::size_t>(ProtocolId::kCount);
+
+/// Base class for protocol payloads.  Payloads are immutable once sent and
+/// shared between all receivers of a multicast (zero-copy fan-out).
+class Payload {
+ public:
+  Payload() = default;
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+struct Message {
+  ProcessId src = 0;
+  ProcessId dst = 0;  // kBroadcast for multicast
+  ProtocolId proto = ProtocolId::kApplication;
+  PayloadPtr payload;
+};
+
+/// Downcast helper: returns nullptr when the payload has a different type.
+template <typename T>
+const T* payload_cast(const Message& m) {
+  return dynamic_cast<const T*>(m.payload.get());
+}
+
+}  // namespace fdgm::net

@@ -1,0 +1,62 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fdgm::net {
+
+Network::Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, DeliverFn deliver)
+    : sched_(&sched), cfg_(cfg), wire_(sched, "network"), deliver_(std::move(deliver)) {
+  if (num_processes <= 0) throw std::invalid_argument("Network: need at least one process");
+  if (cfg_.lambda < 0) throw std::invalid_argument("Network: negative lambda");
+  if (cfg_.network_time <= 0) throw std::invalid_argument("Network: network_time must be > 0");
+  cpus_.reserve(static_cast<std::size_t>(num_processes));
+  for (int i = 0; i < num_processes; ++i)
+    cpus_.push_back(std::make_unique<Resource>(sched, "cpu" + std::to_string(i)));
+}
+
+void Network::submit(const Message& m, const std::vector<ProcessId>& dsts) {
+  bool self = false;
+  std::vector<ProcessId> remote;
+  remote.reserve(dsts.size());
+  for (ProcessId d : dsts) {
+    if (d < 0 || d >= num_processes()) throw std::out_of_range("Network::submit: bad destination");
+    if (d == m.src)
+      self = true;
+    else
+      remote.push_back(d);
+  }
+  if (m.src < 0 || m.src >= num_processes()) throw std::out_of_range("Network::submit: bad source");
+
+  // Stage 1: send-side CPU processing.
+  cpus_[static_cast<std::size_t>(m.src)]->enqueue(cfg_.lambda, [this, m, remote = std::move(remote), self] {
+    if (self) {
+      // Local loopback: no network, no extra CPU job.
+      Message copy = m;
+      copy.dst = m.src;
+      ++delivered_;
+      if (tap_) tap_(copy, m.src);
+      deliver_(copy, m.src);
+    }
+    if (!remote.empty()) {
+      // Stage 2: one slot on the shared medium regardless of fan-out.
+      wire_.enqueue(cfg_.network_time, [this, m, remote] { on_wire_done(m, remote); });
+    }
+  });
+}
+
+void Network::on_wire_done(const Message& m, const std::vector<ProcessId>& remote) {
+  // Stage 3: receive-side CPU processing, one job per destination host.
+  for (ProcessId d : remote) {
+    cpus_[static_cast<std::size_t>(d)]->enqueue(cfg_.lambda, [this, m, d] {
+      Message copy = m;
+      copy.dst = d;
+      ++delivered_;
+      if (tap_) tap_(copy, d);
+      deliver_(copy, d);
+    });
+  }
+}
+
+}  // namespace fdgm::net

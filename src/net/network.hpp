@@ -1,0 +1,77 @@
+// Contention-aware network model (paper §6.1, after Urbán et al. IC3N'00).
+//
+// Transmitting a message from pi to pj uses, in order:
+//   1. CPU_i for λ time units   (send-side processing),
+//   2. the shared network for 1 time unit,
+//   3. CPU_j for λ time units   (receive-side processing),
+// with FIFO queueing in front of each resource.  A multicast occupies the
+// sender CPU and the network once, then every destination CPU in parallel
+// (Ethernet-style broadcast medium).  Self-destined copies bypass the
+// network: they are delivered when the send-side CPU processing completes.
+//
+// Crash semantics (software crash): jobs already accepted by a CPU or
+// queued behind it complete normally; the Node stops submitting new sends
+// and stops receiving deliveries (see Node::crash).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/resource.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fdgm::net {
+
+struct NetworkConfig {
+  /// Relative CPU cost of sending/receiving one message (paper's λ).
+  double lambda = 1.0;
+  /// Network service time per message (the paper's time unit, 1 ms).
+  double network_time = 1.0;
+};
+
+class Network {
+ public:
+  /// `deliver` is invoked when a message reaches a destination process
+  /// (after its receive-side CPU processing).  The callee decides whether
+  /// the process is still alive.
+  using DeliverFn = std::function<void(const Message&, ProcessId dst)>;
+
+  Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, DeliverFn deliver);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Submit a message for transmission to an explicit destination list.
+  /// Destinations equal to `m.src` are served via local loopback.
+  void submit(const Message& m, const std::vector<ProcessId>& dsts);
+
+  [[nodiscard]] int num_processes() const { return static_cast<int>(cpus_.size()); }
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+
+  /// Shared medium statistics (used by tests to count "network slots").
+  [[nodiscard]] std::uint64_t network_uses() const { return wire_.jobs(); }
+  [[nodiscard]] double network_busy_time() const { return wire_.busy_time(); }
+  [[nodiscard]] std::uint64_t cpu_uses(ProcessId p) const { return cpus_.at(p)->jobs(); }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+  /// Optional tap observing every point-to-point delivery (tracing).
+  void set_delivery_tap(std::function<void(const Message&, ProcessId)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ private:
+  void on_wire_done(const Message& m, const std::vector<ProcessId>& remote);
+
+  sim::Scheduler* sched_;
+  NetworkConfig cfg_;
+  Resource wire_;
+  std::vector<std::unique_ptr<Resource>> cpus_;
+  DeliverFn deliver_;
+  std::function<void(const Message&, ProcessId)> tap_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace fdgm::net

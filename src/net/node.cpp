@@ -1,0 +1,47 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/system.hpp"
+
+namespace fdgm::net {
+
+void Node::register_handler(ProtocolId proto, Layer* layer) {
+  handlers_.at(static_cast<std::size_t>(proto)) = layer;
+}
+
+void Node::send(ProcessId dst, ProtocolId proto, PayloadPtr payload) {
+  if (crashed_) return;
+  Message m{id_, dst, proto, std::move(payload)};
+  ++sent_;
+  sys_->network().submit(m, {dst});
+}
+
+void Node::multicast(const std::vector<ProcessId>& dsts, ProtocolId proto, PayloadPtr payload) {
+  if (crashed_) return;
+  if (dsts.empty()) return;
+  Message m{id_, kBroadcast, proto, std::move(payload)};
+  ++sent_;
+  sys_->network().submit(m, dsts);
+}
+
+void Node::multicast_all(ProtocolId proto, PayloadPtr payload) {
+  multicast(sys_->all(), proto, std::move(payload));
+}
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  crash_time_ = sys_->now();
+}
+
+void Node::deliver(const Message& m) {
+  if (crashed_) return;  // the host CPU processed it, the dead process never sees it
+  ++received_;
+  Layer* h = handlers_.at(static_cast<std::size_t>(m.proto));
+  if (h == nullptr) throw std::logic_error("Node::deliver: no handler for protocol");
+  h->on_message(m);
+}
+
+}  // namespace fdgm::net

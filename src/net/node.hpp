@@ -1,0 +1,73 @@
+// A simulated process: hosts a stack of protocol layers (Neko-style) and
+// implements the software-crash semantics of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace fdgm::net {
+
+class System;
+
+/// Interface implemented by every protocol layer living on a Node.
+class Layer {
+ public:
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  virtual ~Layer() = default;
+
+  /// Called when a message addressed to this layer's protocol arrives.
+  virtual void on_message(const Message& m) = 0;
+};
+
+class Node {
+ public:
+  Node(ProcessId id, System& sys) : id_(id), sys_(&sys) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] sim::Time crash_time() const { return crash_time_; }
+  [[nodiscard]] System& system() { return *sys_; }
+
+  /// Route messages of `proto` to `layer`.  Passing nullptr unregisters.
+  void register_handler(ProtocolId proto, Layer* layer);
+
+  /// Point-to-point send.  Silently dropped if this process has crashed
+  /// (a dead process submits no new work to its CPU).
+  void send(ProcessId dst, ProtocolId proto, PayloadPtr payload);
+
+  /// Multicast to an explicit destination set (may include self).
+  void multicast(const std::vector<ProcessId>& dsts, ProtocolId proto, PayloadPtr payload);
+
+  /// Multicast to every process in the system, including self.
+  void multicast_all(ProtocolId proto, PayloadPtr payload);
+
+  /// Software crash: no message passes between the process and its CPU
+  /// from now on.  In-flight CPU/network jobs complete normally.
+  void crash();
+
+  /// Entry point used by the Network after receive-side CPU processing.
+  void deliver(const Message& m);
+
+  /// Messages this node handed to the network / received, for tests.
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+  [[nodiscard]] std::uint64_t received_count() const { return received_; }
+
+ private:
+  ProcessId id_;
+  System* sys_;
+  std::array<Layer*, kProtocolCount> handlers_{};
+  bool crashed_ = false;
+  sim::Time crash_time_ = -1.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace fdgm::net

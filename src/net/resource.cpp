@@ -1,0 +1,20 @@
+#include "net/resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace fdgm::net {
+
+void Resource::enqueue(double service_time, std::function<void()> on_done) {
+  if (service_time < 0) throw std::invalid_argument("Resource::enqueue: negative service time");
+  const sim::Time start = std::max(sched_->now(), free_at_);
+  free_at_ = start + service_time;
+  busy_time_ += service_time;
+  ++jobs_;
+  sched_->schedule_at(free_at_, std::move(on_done));
+}
+
+sim::Time Resource::busy_until() const { return std::max(sched_->now(), free_at_); }
+
+}  // namespace fdgm::net

@@ -1,0 +1,50 @@
+// Single-server FIFO resource with deterministic service times — the
+// building block of the contention model of Urbán/Défago/Schiper (IC3N'00)
+// that the paper uses: one shared "network" resource plus one "CPU"
+// resource per host.
+//
+// A job that arrives while the server is busy waits in FIFO order.  Because
+// jobs are enqueued at their physical arrival instant (the simulation
+// schedules an event per pipeline stage), a busy-until accumulator gives
+// exact FIFO queueing semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/scheduler.hpp"
+
+namespace fdgm::net {
+
+class Resource {
+ public:
+  Resource(sim::Scheduler& sched, std::string name)
+      : sched_(&sched), name_(std::move(name)) {}
+
+  /// Occupy the resource for `service_time` units, starting as soon as all
+  /// previously enqueued jobs finish; `on_done` fires at completion.
+  /// A zero service time completes at the current busy-until frontier
+  /// (still serialized after earlier jobs).
+  void enqueue(double service_time, std::function<void()> on_done);
+
+  /// Time at which the resource next becomes idle (== now when idle).
+  [[nodiscard]] sim::Time busy_until() const;
+
+  /// Cumulative busy time, for utilization accounting in tests/benches.
+  [[nodiscard]] double busy_time() const { return busy_time_; }
+
+  /// Number of jobs served (or started).
+  [[nodiscard]] std::uint64_t jobs() const { return jobs_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  sim::Scheduler* sched_;
+  std::string name_;
+  sim::Time free_at_ = 0.0;
+  double busy_time_ = 0.0;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace fdgm::net

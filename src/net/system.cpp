@@ -1,0 +1,39 @@
+#include "net/system.hpp"
+
+#include <stdexcept>
+
+namespace fdgm::net {
+
+System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed) : rng_(seed) {
+  if (num_processes <= 0) throw std::invalid_argument("System: need at least one process");
+  network_ = std::make_unique<Network>(
+      sched_, num_processes, cfg,
+      [this](const Message& m, ProcessId dst) { node(dst).deliver(m); });
+  nodes_.reserve(static_cast<std::size_t>(num_processes));
+  all_.reserve(static_cast<std::size_t>(num_processes));
+  for (int i = 0; i < num_processes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, *this));
+    all_.push_back(i);
+  }
+}
+
+std::vector<ProcessId> System::alive() const {
+  std::vector<ProcessId> out;
+  out.reserve(nodes_.size());
+  for (const auto& nd : nodes_)
+    if (!nd->crashed()) out.push_back(nd->id());
+  return out;
+}
+
+void System::crash(ProcessId p) {
+  Node& nd = node(p);
+  if (nd.crashed()) return;
+  nd.crash();
+  for (auto& fn : crash_listeners_) fn(p, sched_.now());
+}
+
+void System::crash_at(ProcessId p, sim::Time t) {
+  sched_.schedule_at(t, [this, p] { crash(p); });
+}
+
+}  // namespace fdgm::net

@@ -1,0 +1,66 @@
+// System: the simulated distributed system — scheduler + network + nodes.
+//
+// Owns the discrete-event scheduler, the contention network and one Node
+// per process, and fans crash notifications out to interested components
+// (the failure-detector model, the experiment harness).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fdgm::net {
+
+class System {
+ public:
+  System(int num_processes, NetworkConfig cfg, std::uint64_t seed);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] int n() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const sim::Scheduler& scheduler() const { return sched_; }
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] Node& node(ProcessId p) { return *nodes_.at(static_cast<std::size_t>(p)); }
+  [[nodiscard]] const Node& node(ProcessId p) const {
+    return *nodes_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] sim::Time now() const { return sched_.now(); }
+
+  /// The master RNG for this run; components fork sub-streams off it.
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// All process ids, 0..n-1.
+  [[nodiscard]] const std::vector<ProcessId>& all() const { return all_; }
+
+  /// Ids of processes that have not crashed yet.
+  [[nodiscard]] std::vector<ProcessId> alive() const;
+
+  /// Crash process p now (software crash).  Notifies crash listeners.
+  void crash(ProcessId p);
+
+  /// Schedule a crash of p at absolute time t.
+  void crash_at(ProcessId p, sim::Time t);
+
+  /// Listener invoked with (process, crash time) whenever a crash occurs.
+  void add_crash_listener(std::function<void(ProcessId, sim::Time)> fn) {
+    crash_listeners_.push_back(std::move(fn));
+  }
+
+ private:
+  sim::Scheduler sched_;
+  sim::Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<ProcessId> all_;
+  std::vector<std::function<void(ProcessId, sim::Time)>> crash_listeners_;
+};
+
+}  // namespace fdgm::net

@@ -1,0 +1,78 @@
+#include "rbcast/reliable_broadcast.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fdgm::rbcast {
+
+ReliableBroadcast::ReliableBroadcast(net::System& sys, net::ProcessId self,
+                                     fd::FailureDetector& fd, RbConfig cfg)
+    : sys_(&sys), self_(self), fd_(&fd), cfg_(cfg) {
+  sys.node(self).register_handler(net::ProtocolId::kReliableBroadcast, this);
+  fd.add_listener(this);
+}
+
+ReliableBroadcast::~ReliableBroadcast() {
+  fd_->remove_listener(this);
+  sys_->node(self_).register_handler(net::ProtocolId::kReliableBroadcast, nullptr);
+}
+
+void ReliableBroadcast::register_client(int tag, DeliverFn fn) {
+  if (!clients_.emplace(tag, std::move(fn)).second)
+    throw std::logic_error("ReliableBroadcast: duplicate client tag");
+}
+
+void ReliableBroadcast::broadcast(int tag, net::PayloadPtr inner) {
+  broadcast_group(tag, {}, std::move(inner));
+}
+
+void ReliableBroadcast::broadcast_group(int tag, const std::vector<net::ProcessId>& group,
+                                        net::PayloadPtr inner) {
+  auto p = std::make_shared<RbPayload>(RbId{self_, next_seq_++}, tag, std::move(inner), group);
+  // Deliver locally first (counts as the self copy of the multicast), then
+  // put one multicast on the wire.  handle() is idempotent, so the self
+  // copy delivered by the network later is ignored.
+  const std::vector<net::ProcessId>& dsts = p->group.empty() ? sys_->all() : p->group;
+  sys_->node(self_).multicast(dsts, net::ProtocolId::kReliableBroadcast, p);
+  handle(p);
+}
+
+void ReliableBroadcast::on_message(const net::Message& m) {
+  auto p = std::dynamic_pointer_cast<const RbPayload>(m.payload);
+  if (!p) throw std::logic_error("ReliableBroadcast: foreign payload");
+  handle(p);
+}
+
+void ReliableBroadcast::release(const RbId& id) {
+  auto it = seen_.find(id);
+  if (it == seen_.end() || !it->second.payload) return;
+  it->second.payload = nullptr;
+  --retained_;
+}
+
+void ReliableBroadcast::handle(const std::shared_ptr<const RbPayload>& p) {
+  auto [it, inserted] = seen_.try_emplace(p->id, Seen{p, false});
+  if (!inserted) return;  // duplicate (relay or self copy)
+  ++retained_;
+  auto cit = clients_.find(p->client_tag);
+  if (cit == clients_.end()) throw std::logic_error("ReliableBroadcast: unknown client tag");
+  cit->second(p->id, p->id.origin, p->inner);
+  // If the origin is *already* suspected when the message first arrives,
+  // relay immediately: the suspicion edge will not fire again.
+  if (cfg_.relay_on_suspicion && fd_->suspects(p->id.origin)) on_suspect(p->id.origin);
+}
+
+void ReliableBroadcast::on_suspect(net::ProcessId s) {
+  if (!cfg_.relay_on_suspicion) return;
+  // Relay every message of origin s that we have and have not relayed yet.
+  for (auto& [id, entry] : seen_) {
+    if (id.origin != s || entry.relayed || !entry.payload) continue;
+    entry.relayed = true;
+    ++relays_;
+    const std::vector<net::ProcessId>& dsts =
+        entry.payload->group.empty() ? sys_->all() : entry.payload->group;
+    sys_->node(self_).multicast(dsts, net::ProtocolId::kReliableBroadcast, entry.payload);
+  }
+}
+
+}  // namespace fdgm::rbcast

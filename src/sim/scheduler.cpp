@@ -1,0 +1,79 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace fdgm::sim {
+
+EventId Scheduler::schedule_at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+  EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+EventId Scheduler::schedule_after(Time delay, Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Scheduler::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy deletion: remember the id; the heap entry is dropped when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Scheduler::pop_next(Event& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; we must copy the callback anyway
+    // because pop() destroys the node.
+    out = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(out.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  if (stopped_) return false;
+  Event ev;
+  if (!pop_next(ev)) return false;
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Scheduler::run_until(Time t) {
+  std::uint64_t n = 0;
+  Event ev;
+  while (!stopped_) {
+    if (!pop_next(ev)) break;
+    if (ev.t > t) {
+      // Not due yet: put it back (cheap; preserves id so FIFO order holds).
+      heap_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.t;
+    ++executed_;
+    ++n;
+    ev.cb();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace fdgm::sim

@@ -1,0 +1,93 @@
+// Discrete-event scheduler.
+//
+// Single-threaded, deterministic: events at equal timestamps execute in
+// insertion order (FIFO), which makes every simulation reproducible given
+// the same seed.  Events are arbitrary callbacks; cancellation is O(1)
+// (lazy deletion from the heap).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fdgm::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.  Starts at kTimeZero.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t`.  `t` must be >= now().
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` `delay` time units from now.  `delay` must be >= 0.
+  EventId schedule_after(Time delay, Callback cb);
+
+  /// Cancel a pending event.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Execute the next pending event, advancing time.  Returns false when
+  /// the queue is empty or the scheduler was stopped.
+  bool step();
+
+  /// Run until the event queue drains, `stop()` is called, or more than
+  /// `max_events` events execute (guard against runaway protocols).
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with timestamp <= `t`; afterwards now() == t unless the
+  /// scheduler was stopped earlier.  Returns the number of events executed.
+  std::uint64_t run_until(Time t);
+
+  /// Stop a run()/run_until() in progress (from inside a callback).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Resets the stop flag so that run() can be called again.
+  void clear_stop() { stopped_ = false; }
+
+  /// Number of events currently pending (including lazily cancelled ones
+  /// not yet popped).
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t{};
+    EventId id{};
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = kTimeZero;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace fdgm::sim

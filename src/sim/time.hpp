@@ -1,0 +1,20 @@
+// Simulated time for the discrete-event kernel.
+//
+// The paper sets the network service time to one "time unit" and, for
+// readability, interprets that unit as 1 ms.  We keep the same convention:
+// Time is a double counting simulated milliseconds.
+#pragma once
+
+#include <limits>
+
+namespace fdgm::sim {
+
+using Time = double;
+
+/// A time value larger than any reachable simulation instant.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Simulation epoch.
+inline constexpr Time kTimeZero = 0.0;
+
+}  // namespace fdgm::sim

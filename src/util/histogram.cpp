@@ -1,0 +1,58 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdgm::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp rounding at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  const std::size_t peak = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar =
+        peak ? static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) * static_cast<double>(width) / static_cast<double>(peak)))
+             : 0;
+    os << '[' << bin_lo(i) << ", " << bin_hi(i) << ") " << std::string(bar, '#') << ' '
+       << counts_[i] << '\n';
+  }
+  if (underflow_ != 0) os << "underflow " << underflow_ << '\n';
+  if (overflow_ != 0) os << "overflow " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace fdgm::util

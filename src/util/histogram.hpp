@@ -1,0 +1,42 @@
+// Fixed-width histogram used for latency distributions in the examples and
+// for sanity-checking the exponential QoS metrics in tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fdgm::util {
+
+class Histogram {
+ public:
+  /// Buckets of width (hi - lo) / bins over [lo, hi); values outside the
+  /// range land in saturated end buckets that are tracked separately.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Fraction of samples in bucket i (0 if empty histogram).
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+
+  /// Simple ASCII rendering (one line per non-empty bucket).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fdgm::util

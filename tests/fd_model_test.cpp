@@ -1,0 +1,217 @@
+// Tests of the QoS failure-detector model (paper §6.2): detection time TD,
+// permanence of crash suspicions, the TMR/TM renewal process statistics,
+// listener edge notifications, and independence of pair modules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fd/qos_model.hpp"
+#include "net/system.hpp"
+#include "util/stats.hpp"
+
+namespace fdgm::fd {
+namespace {
+
+class EdgeLog final : public SuspicionListener {
+ public:
+  explicit EdgeLog(net::System& sys) : sys_(&sys) {}
+  void on_suspect(net::ProcessId p) override { suspects.emplace_back(p, sys_->now()); }
+  void on_trust(net::ProcessId p) override { trusts.emplace_back(p, sys_->now()); }
+  std::vector<std::pair<net::ProcessId, sim::Time>> suspects;
+  std::vector<std::pair<net::ProcessId, sim::Time>> trusts;
+
+ private:
+  net::System* sys_;
+};
+
+TEST(FdModel, NoSuspicionsWithoutCrashesOrMistakes) {
+  net::System sys(3, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{});
+  fd.start();
+  sys.scheduler().run_until(10000.0);
+  for (int q = 0; q < 3; ++q)
+    for (int p = 0; p < 3; ++p) EXPECT_FALSE(fd.at(q).suspects(p));
+}
+
+TEST(FdModel, CrashDetectedAfterExactlyTd) {
+  net::System sys(3, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{.detection_time = 75.0});
+  EdgeLog log(sys);
+  fd.at(1).add_listener(&log);
+  fd.start();
+  sys.crash_at(0, 100.0);
+  sys.scheduler().run_until(1000.0);
+  ASSERT_EQ(log.suspects.size(), 1u);
+  EXPECT_EQ(log.suspects[0].first, 0);
+  EXPECT_DOUBLE_EQ(log.suspects[0].second, 175.0);
+  EXPECT_TRUE(fd.at(1).suspects(0));
+  EXPECT_TRUE(fd.at(2).suspects(0));
+}
+
+TEST(FdModel, CrashSuspicionIsPermanent) {
+  net::System sys(2, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{.detection_time = 0.0});
+  fd.start();
+  sys.crash_at(0, 10.0);
+  sys.scheduler().run_until(100000.0);
+  EXPECT_TRUE(fd.at(1).suspects(0));
+}
+
+TEST(FdModel, ZeroTdDetectsInstantly) {
+  net::System sys(2, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{.detection_time = 0.0});
+  EdgeLog log(sys);
+  fd.at(1).add_listener(&log);
+  fd.start();
+  sys.crash_at(0, 50.0);
+  sys.scheduler().run_until(51.0);
+  ASSERT_EQ(log.suspects.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.suspects[0].second, 50.0);
+}
+
+TEST(FdModel, WrongSuspicionRecurrenceMatchesTmr) {
+  net::System sys(2, {}, 7);
+  QosParams qp;
+  qp.wrong_suspicions = true;
+  qp.mistake_recurrence = 200.0;
+  qp.mistake_duration = 0.0;
+  QosFailureDetectorModel fd(sys, qp);
+  EdgeLog log(sys);
+  fd.at(1).add_listener(&log);
+  fd.start();
+  const double horizon = 400000.0;
+  sys.scheduler().run_until(horizon);
+  // Expect ~horizon/TMR mistakes; allow 10% slack.
+  const double expected = horizon / qp.mistake_recurrence;
+  EXPECT_NEAR(static_cast<double>(log.suspects.size()), expected, expected * 0.10);
+  // TM = 0: every suspect edge is followed by a trust edge at the same time.
+  ASSERT_EQ(log.trusts.size(), log.suspects.size());
+  for (std::size_t i = 0; i < log.suspects.size(); ++i)
+    EXPECT_DOUBLE_EQ(log.trusts[i].second, log.suspects[i].second);
+}
+
+TEST(FdModel, MistakeDurationMatchesTm) {
+  net::System sys(2, {}, 11);
+  QosParams qp;
+  qp.wrong_suspicions = true;
+  qp.mistake_recurrence = 1000.0;
+  qp.mistake_duration = 40.0;
+  QosFailureDetectorModel fd(sys, qp);
+  EdgeLog log(sys);
+  fd.at(1).add_listener(&log);
+  fd.start();
+  sys.scheduler().run_until(2000000.0);
+  ASSERT_GT(log.suspects.size(), 200u);
+  util::RunningStats durations;
+  const std::size_t n = std::min(log.suspects.size(), log.trusts.size());
+  for (std::size_t i = 0; i < n; ++i)
+    durations.add(log.trusts[i].second - log.suspects[i].second);
+  EXPECT_NEAR(durations.mean(), qp.mistake_duration, qp.mistake_duration * 0.15);
+}
+
+TEST(FdModel, PairsAreIndependent) {
+  net::System sys(3, {}, 5);
+  QosParams qp;
+  qp.wrong_suspicions = true;
+  qp.mistake_recurrence = 500.0;
+  QosFailureDetectorModel fd(sys, qp);
+  EdgeLog log1(sys);
+  EdgeLog log2(sys);
+  fd.at(1).add_listener(&log1);
+  fd.at(2).add_listener(&log2);
+  fd.start();
+  sys.scheduler().run_until(100000.0);
+  ASSERT_GT(log1.suspects.size(), 50u);
+  ASSERT_GT(log2.suspects.size(), 50u);
+  // Different modules must not fire at identical instants.
+  std::size_t coincide = 0;
+  for (const auto& [p, t] : log1.suspects)
+    for (const auto& [p2, t2] : log2.suspects)
+      if (t == t2) ++coincide;
+  EXPECT_LT(coincide, 3u);
+}
+
+TEST(FdModel, NoWrongSuspicionsOfCrashedTarget) {
+  // Once a crash is detected, the renewal process must go quiet: the
+  // suspicion is final, no trust edge may follow.
+  net::System sys(2, {}, 3);
+  QosParams qp;
+  qp.detection_time = 10.0;
+  qp.wrong_suspicions = true;
+  qp.mistake_recurrence = 50.0;
+  qp.mistake_duration = 5.0;
+  QosFailureDetectorModel fd(sys, qp);
+  EdgeLog log(sys);
+  fd.at(1).add_listener(&log);
+  fd.start();
+  sys.crash_at(0, 1000.0);
+  sys.scheduler().run_until(100000.0);
+  EXPECT_TRUE(fd.at(1).suspects(0));
+  // After detection (t=1010) no trust edge may occur.
+  for (const auto& [p, t] : log.trusts) EXPECT_LT(t, 1010.0 + 1e-9);
+}
+
+TEST(FdModel, SuspectedSnapshot) {
+  net::System sys(4, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{.detection_time = 0.0});
+  fd.start();
+  sys.crash_at(1, 1.0);
+  sys.crash_at(3, 2.0);
+  sys.scheduler().run_until(10.0);
+  EXPECT_EQ(fd.at(0).suspected(), (std::vector<net::ProcessId>{1, 3}));
+}
+
+TEST(FdModel, ListenerRemoval) {
+  net::System sys(2, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{.detection_time = 0.0});
+  EdgeLog log(sys);
+  fd.at(1).add_listener(&log);
+  fd.at(1).remove_listener(&log);
+  fd.start();
+  sys.crash_at(0, 1.0);
+  sys.scheduler().run_until(10.0);
+  EXPECT_TRUE(log.suspects.empty());
+}
+
+TEST(FdModel, EdgeCountsOnlyRisingEdges) {
+  net::System sys(2, {}, 1);
+  QosFailureDetectorModel fd(sys, QosParams{.detection_time = 0.0});
+  fd.start();
+  fd.at(1).set_suspected(0, true);
+  fd.at(1).set_suspected(0, true);  // no-op
+  fd.at(1).set_suspected(0, false);
+  fd.at(1).set_suspected(0, true);
+  EXPECT_EQ(fd.at(1).suspicion_edges(), 2u);
+}
+
+TEST(FdModel, RejectsInvalidParams) {
+  net::System sys(2, {}, 1);
+  EXPECT_THROW(QosFailureDetectorModel(sys, QosParams{.detection_time = -1.0}),
+               std::invalid_argument);
+  QosParams bad;
+  bad.wrong_suspicions = true;
+  bad.mistake_recurrence = 0.0;
+  EXPECT_THROW(QosFailureDetectorModel(sys, bad), std::invalid_argument);
+}
+
+TEST(FdModel, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    net::System sys(3, {}, 99);
+    QosParams qp;
+    qp.wrong_suspicions = true;
+    qp.mistake_recurrence = 100.0;
+    qp.mistake_duration = 10.0;
+    QosFailureDetectorModel fd(sys, qp);
+    EdgeLog log(sys);
+    fd.at(1).add_listener(&log);
+    fd.start();
+    sys.scheduler().run_until(10000.0);
+    return log.suspects;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fdgm::fd

@@ -1,0 +1,127 @@
+// Tests of the deterministic RNG streams: reproducibility, independence of
+// forks, and distribution properties of the variates the simulation uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fdgm::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.fork(42);
+  Rng fb = b.fork(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentTagsAreIndependent) {
+  Rng base(7);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (f1.next_u64() == f2.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkByLabelMatchesRepeatedCall) {
+  Rng base(9);
+  Rng f1 = base.fork("workload");
+  Rng f2 = base.fork("workload");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.fork(99);  // forking must not consume parent state
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(5.0, 10.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 10.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.uniform_int(0, 9);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 9);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(11);
+  util::RunningStats s;
+  const double mean = 25.0;
+  for (int i = 0; i < 50000; ++i) s.add(r.exponential(mean));
+  EXPECT_NEAR(s.mean(), mean, mean * 0.05);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev(), mean, mean * 0.1);
+}
+
+TEST(Rng, ExponentialZeroMeanIsZero) {
+  Rng r(1);
+  EXPECT_EQ(r.exponential(0.0), 0.0);
+  EXPECT_EQ(r.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, ExponentialIsMemoryless) {
+  // P(X > a+b | X > a) == P(X > b): compare tail fractions.
+  Rng r(13);
+  const double mean = 10.0;
+  int over_a = 0;
+  int over_ab = 0;
+  int over_b = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(mean);
+    if (x > 5.0) ++over_a;
+    if (x > 12.0) ++over_ab;
+    if (x > 7.0) ++over_b;
+  }
+  const double cond = static_cast<double>(over_ab) / over_a;
+  const double uncond = static_cast<double>(over_b) / n;
+  EXPECT_NEAR(cond, uncond, 0.02);
+}
+
+}  // namespace
+}  // namespace fdgm::sim

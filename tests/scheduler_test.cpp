@@ -1,0 +1,172 @@
+// Unit tests of the discrete-event scheduler: ordering, FIFO ties,
+// cancellation, run_until semantics, stop, and the guard rails.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace fdgm::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.executed(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, ExecutesInTimestampOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(5.0, [&] { order.push_back(2); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(9.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 9.0);
+}
+
+TEST(Scheduler, EqualTimestampsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_at(3.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  double fired_at = -1;
+  s.schedule_at(10.0, [&] { s.schedule_after(5.0, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(Scheduler, RejectsPastAndNegative) {
+  Scheduler s;
+  s.schedule_at(10.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelReturnsFalseForUnknownOrDouble) {
+  Scheduler s;
+  EventId id = s.schedule_at(1.0, [] {});
+  EXPECT_FALSE(s.cancel(9999));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  s.run();
+}
+
+TEST(Scheduler, CancelledEventDoesNotAdvanceTime) {
+  Scheduler s;
+  EventId id = s.schedule_at(100.0, [] {});
+  s.schedule_at(1.0, [] {});
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(s.now(), 1.0);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) s.schedule_at(t, [&times, &s] { times.push_back(s.now()); });
+  s.run_until(2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.now(), 2.5);
+  s.run_until(10.0);
+  EXPECT_EQ(times.size(), 4u);
+  EXPECT_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, RunUntilInclusiveOfBoundaryEvents) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(2.0, [&] { fired = true; });
+  s.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeWithEmptyQueue) {
+  Scheduler s;
+  s.run_until(42.0);
+  EXPECT_EQ(s.now(), 42.0);
+}
+
+TEST(Scheduler, StopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (double t : {1.0, 2.0, 3.0}) {
+    s.schedule_at(t, [&] {
+      ++count;
+      if (count == 2) s.stop();
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(s.stopped());
+  s.clear_stop();
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, MaxEventsGuard) {
+  Scheduler s;
+  // A self-rescheduling event would run forever without the guard.
+  std::function<void()> loop = [&] { s.schedule_after(1.0, loop); };
+  s.schedule_after(1.0, loop);
+  const std::uint64_t n = s.run(1000);
+  EXPECT_EQ(n, 1000u);
+}
+
+TEST(Scheduler, EventsScheduledDuringExecutionAtSameTimeRun) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] {
+    order.push_back(1);
+    s.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), 1.0);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(Scheduler, PendingCountExcludesCancelled) {
+  Scheduler s;
+  EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+}  // namespace
+}  // namespace fdgm::sim
