@@ -1,17 +1,13 @@
-// Shared helpers for the figure benches: standard sweep configurations and
-// table printing.  Every bench prints the series of one paper figure
-// (mean latency ± 95% CI per point); absolute values need not match the
-// paper's testbed, the shape is what gets compared in EXPERIMENTS.md.
+// Shared helpers for the bench scenarios: standard sweep configurations and
+// the quick-run budget.  Every scenario emits the series of one paper
+// figure (mean latency ± 95% CI per point); absolute values need not match
+// the paper's testbed, the shape is what gets compared in EXPERIMENTS.md.
 #pragma once
 
-#include <cstdio>
 #include <cstdlib>
-#include <iostream>
-#include <string>
 #include <vector>
 
 #include "core/runner.hpp"
-#include "util/csv.hpp"
 
 namespace fdgm::bench {
 
@@ -58,26 +54,6 @@ inline core::SimConfig sim_config(core::Algorithm a, int n, double lambda = 1.0,
 inline std::vector<double> throughput_sweep(int n) {
   if (n >= 7) return {10, 50, 100, 200, 300, 400, 500};
   return {10, 50, 100, 200, 300, 400, 500, 600, 700};
-}
-
-inline std::string fmt_point(const core::PointResult& r) {
-  if (!r.stable) return "unstable";
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.2f +/- %.2f", r.latency.mean, r.latency.half_width);
-  return buf;
-}
-
-inline std::string fmt_transient(const core::TransientResult& r) {
-  if (!r.stable) return "unstable";
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.2f +/- %.2f", r.latency.mean, r.latency.half_width);
-  return buf;
-}
-
-inline void print_header(const char* title, const char* figure) {
-  std::printf("==============================================================\n");
-  std::printf("%s\n(reproduces %s; latency in ms, 95%% CI over replicas)\n", title, figure);
-  std::printf("==============================================================\n");
 }
 
 }  // namespace fdgm::bench

@@ -1,0 +1,220 @@
+// Unified benchmark driver: one binary for every paper figure and ablation.
+//
+//   fdgm_bench --list                    enumerate registered scenarios
+//   fdgm_bench fig4 fig5                 run selected scenarios
+//   fdgm_bench --all --jobs 8            run everything on 8 workers
+//   fdgm_bench fig5 --format csv         machine-readable output
+//   fdgm_bench --all --out results/      one file per scenario
+//
+// FDGM_BENCH_QUICK=1 shrinks the replica/sample budget for smoke runs.
+// Results are bit-identical for every --jobs value (replica seeding and
+// row order do not depend on the worker count).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+enum class Format { kTable, kCsv, kJson };
+
+struct Options {
+  std::vector<std::string> scenarios;
+  std::size_t jobs = 1;
+  std::uint64_t seed = 1000;
+  Format format = Format::kTable;
+  std::string out_dir;  // empty: stdout
+  bool list = false;
+  bool all = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "Usage: fdgm_bench [options] [scenario ...]\n"
+      "\n"
+      "Options:\n"
+      "  --list            list registered scenarios and exit\n"
+      "  --all             run every registered scenario\n"
+      "  --jobs N          worker threads (default 1, 0 = hardware threads)\n"
+      "  --seed S          base seed (default 1000; replica r uses S+r)\n"
+      "  --format F        table | csv | json (default table)\n"
+      "  --out DIR         write one <scenario>.<ext> file per scenario\n"
+      "  --help            this text\n"
+      "\n"
+      "Environment:\n"
+      "  FDGM_BENCH_QUICK=1   shrink replicas/samples for a smoke run\n";
+}
+
+/// Strict unsigned parse: the whole string must be digits.
+bool parse_u64(const char* s, std::uint64_t& out) {
+  if (!*s) return false;
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+void print_list() {
+  const auto& all = ScenarioRegistry::instance().all();
+  std::printf("%-24s %-12s %s\n", "name", "figure", "title");
+  for (const Scenario& s : all)
+    std::printf("%-24s %-12s %s\n", s.name.c_str(), s.figure.c_str(), s.title.c_str());
+}
+
+/// Returns false (after printing to stderr) on a malformed command line.
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "fdgm_bench: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list") {
+      opt.list = true;
+    } else if (a == "--all") {
+      opt.all = true;
+    } else if (a == "--help" || a == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (a == "--jobs" || a == "-j") {
+      const char* v = need_value(i, a.c_str());
+      std::uint64_t n = 0;
+      if (!v) return false;
+      if (!parse_u64(v, n)) {
+        std::cerr << "fdgm_bench: --jobs needs a number, got '" << v << "'\n";
+        return false;
+      }
+      opt.jobs = static_cast<std::size_t>(n);
+    } else if (a == "--seed") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      if (!parse_u64(v, opt.seed)) {
+        std::cerr << "fdgm_bench: --seed needs a number, got '" << v << "'\n";
+        return false;
+      }
+    } else if (a == "--format") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      if (std::strcmp(v, "table") == 0)
+        opt.format = Format::kTable;
+      else if (std::strcmp(v, "csv") == 0)
+        opt.format = Format::kCsv;
+      else if (std::strcmp(v, "json") == 0)
+        opt.format = Format::kJson;
+      else {
+        std::cerr << "fdgm_bench: unknown format '" << v << "' (table|csv|json)\n";
+        return false;
+      }
+    } else if (a == "--out") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      opt.out_dir = v;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "fdgm_bench: unknown option '" << a << "' (see --help)\n";
+      return false;
+    } else {
+      opt.scenarios.push_back(a);
+    }
+  }
+  return true;
+}
+
+void render(const util::Table& table, Format f, std::ostream& os) {
+  switch (f) {
+    case Format::kTable:
+      table.print(os);
+      break;
+    case Format::kCsv:
+      table.print_csv(os);
+      break;
+    case Format::kJson:
+      table.print_json(os);
+      break;
+  }
+}
+
+const char* extension(Format f) {
+  switch (f) {
+    case Format::kCsv:
+      return "csv";
+    case Format::kJson:
+      return "json";
+    case Format::kTable:
+      break;
+  }
+  return "txt";
+}
+
+int run(const Options& opt) {
+  const auto& registry = ScenarioRegistry::instance();
+
+  std::vector<const Scenario*> selected;
+  if (opt.all) {
+    for (const Scenario& s : registry.all()) selected.push_back(&s);
+  } else {
+    for (const std::string& name : opt.scenarios) {
+      const Scenario* s = registry.find(name);
+      if (s == nullptr) {
+        std::cerr << "fdgm_bench: unknown scenario '" << name << "'; available:\n";
+        for (const Scenario& known : registry.all()) std::cerr << "  " << known.name << '\n';
+        return 2;
+      }
+      selected.push_back(s);
+    }
+  }
+  if (selected.empty()) {
+    print_usage();
+    std::cout << '\n';
+    print_list();
+    return 2;
+  }
+
+  ScenarioContext ctx;
+  ctx.budget = budget_from_env();
+  ctx.jobs = opt.jobs;
+  ctx.seed = opt.seed;
+
+  for (const Scenario* s : selected) {
+    const util::Table table = s->run(ctx);
+    if (!opt.out_dir.empty()) {
+      const std::string path = opt.out_dir + "/" + s->name + "." + extension(opt.format);
+      std::ofstream file(path);
+      if (!file) {
+        std::cerr << "fdgm_bench: cannot write " << path << '\n';
+        return 1;
+      }
+      render(table, opt.format, file);
+      std::cout << s->name << " -> " << path << '\n';
+    } else {
+      if (opt.format == Format::kTable) {
+        std::cout << "==============================================================\n"
+                  << s->title << "\n(reproduces " << s->figure
+                  << "; latency in ms, 95% CI over replicas)\n"
+                  << "==============================================================\n";
+      }
+      render(table, opt.format, std::cout);
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdgm::bench
+
+int main(int argc, char** argv) {
+  fdgm::bench::Options opt;
+  if (!fdgm::bench::parse_args(argc, argv, opt)) return 2;
+  if (opt.list) {
+    fdgm::bench::print_list();
+    return 0;
+  }
+  return fdgm::bench::run(opt);
+}

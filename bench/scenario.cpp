@@ -1,0 +1,29 @@
+#include "scenario.hpp"
+
+#include <stdexcept>
+
+namespace fdgm::bench {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario s) {
+  if (s.name.empty() || !s.run) throw std::invalid_argument("Scenario: name and run required");
+  if (find(s.name) != nullptr)
+    throw std::invalid_argument("Scenario: duplicate name " + s.name);
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const Scenario& s : scenarios_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(Scenario s) {
+  ScenarioRegistry::instance().add(std::move(s));
+}
+
+}  // namespace fdgm::bench

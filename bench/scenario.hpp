@@ -1,0 +1,94 @@
+// Scenario registry for the unified bench driver.
+//
+// Every paper figure (and ablation) registers its sweep once — name, title,
+// figure reference and a function producing one result table — and
+// `fdgm_bench` selects scenarios by name, fans replica runs out across
+// worker threads and renders the table as text, CSV or JSON.  Adding a
+// figure means adding one `scenario_*.cpp` file with a registrar; no new
+// main, no new CMake target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/parallel.hpp"
+#include "util/csv.hpp"
+
+namespace fdgm::bench {
+
+/// Everything a scenario needs to size and seed its sweep.
+struct ScenarioContext {
+  BenchBudget budget;
+  /// Worker threads for the replica fan-out (0 = hardware concurrency).
+  std::size_t jobs = 1;
+  /// Base seed; replica r of a point uses seed + r exactly as before.
+  std::uint64_t seed = 1000;
+};
+
+struct Scenario {
+  std::string name;    // CLI handle, e.g. "fig5"
+  std::string title;   // one-line description
+  std::string figure;  // paper reference, e.g. "Fig. 5"
+  std::function<util::Table(const ScenarioContext&)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  void add(Scenario s);
+
+  /// nullptr when no scenario has that name.
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+
+  /// All scenarios in registration order.
+  [[nodiscard]] const std::vector<Scenario>& all() const { return scenarios_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Put one of these at namespace scope in each scenario file:
+///   namespace { const ScenarioRegistrar reg{{ "fig4", ... }}; }
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Scenario s);
+};
+
+/// Shared helper: SteadyConfig from a context.  Replicas inside one point
+/// run sequentially (jobs = 1): the driver parallelises across the sweep's
+/// points instead, which keeps every worker busy without oversubscribing.
+inline core::SteadyConfig steady_from_ctx(double throughput, const ScenarioContext& ctx) {
+  return steady_config(throughput, ctx.budget);
+}
+
+/// Appends "mean, ci95" cells for a steady or transient result
+/// ("unstable, -" when the point saturated — mirroring the paper leaving
+/// such settings off the graphs).  Both result types expose .stable and
+/// .latency, which is all this needs.
+template <typename Result>
+void add_point_cells(std::vector<std::string>& row, const Result& r) {
+  if (!r.stable) {
+    row.emplace_back("unstable");
+    row.emplace_back("-");
+    return;
+  }
+  row.push_back(util::Table::cell(r.latency.mean));
+  row.push_back(util::Table::cell(r.latency.half_width));
+}
+
+/// One sweep point = one row job.  The driver fans the jobs out across
+/// ctx.jobs workers and appends the rows in declaration order, so the
+/// rendered table is identical for every job count.
+using RowJob = std::function<std::vector<std::string>()>;
+
+inline void fill_rows(util::Table& table, const ScenarioContext& ctx,
+                      const std::vector<RowJob>& row_jobs) {
+  std::vector<std::vector<std::string>> rows =
+      core::parallel_map(row_jobs.size(), ctx.jobs, [&](std::size_t i) { return row_jobs[i](); });
+  for (auto& r : rows) table.add_row(std::move(r));
+}
+
+}  // namespace fdgm::bench

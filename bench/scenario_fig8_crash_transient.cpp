@@ -1,0 +1,52 @@
+// Figure 8: latency overhead (latency - TD) vs throughput in the
+// crash-transient scenario: the coordinator / sequencer p0 crashes at tc
+// and another process A-broadcasts the probe message at tc.  The paper
+// reports the worst sender; TD in {0, 10, 100} ms.  Expected shape: both
+// overheads are a few times the normal-steady latency; FD < GM.
+#include <algorithm>
+
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+util::Table run_fig8(const ScenarioContext& ctx) {
+  util::Table table({"n", "TD [ms]", "T [1/s]", "FD overhead [ms]", "FD ci95",
+                     "GM overhead [ms]", "GM ci95"});
+  const std::vector<double> sweep{10, 50, 100, 200, 300, 400};
+  std::vector<RowJob> jobs;
+  for (int n : {3, 7}) {
+    for (double td : {0.0, 10.0, 100.0}) {
+      for (double t : sweep) {
+        jobs.push_back([n, td, t, &ctx] {
+          core::TransientConfig tc;
+          tc.throughput = t;
+          tc.crash = 0;
+          tc.replicas = std::max<std::size_t>(6, ctx.budget.replicas * 2);
+          auto fd_cfg = sim_config(core::Algorithm::kFd, n, 1.0, ctx.seed);
+          auto gm_cfg = sim_config(core::Algorithm::kGm, n, 1.0, ctx.seed);
+          fd_cfg.fd_params.detection_time = td;
+          gm_cfg.fd_params.detection_time = td;
+          auto fd = core::run_transient_worst_sender(fd_cfg, tc);
+          auto gm = core::run_transient_worst_sender(gm_cfg, tc);
+          // Overhead = latency - TD (the latency always exceeds TD, §7).
+          if (fd.stable) fd.latency.mean -= td;
+          if (gm.stable) gm.latency.mean -= td;
+          std::vector<std::string> row{std::to_string(n), util::Table::cell(td, 0),
+                                       util::Table::cell(t, 0)};
+          add_point_cells(row, fd);
+          add_point_cells(row, gm);
+          return row;
+        });
+      }
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"fig8", "Crash-transient scenario: latency overhead vs throughput",
+                             "Fig. 8", run_fig8}};
+
+}  // namespace
+}  // namespace fdgm::bench

@@ -204,7 +204,10 @@ void GmAbcastProcess::deliver_up_to(std::int64_t sn) {
   }
 }
 
-void GmAbcastProcess::deliver_msg(const AppMessagePtr& msg) {
+// Takes the pointer by value: callers pass the shared_ptr stored inside
+// msgs_, and the erase below destroys that map entry — a reference would
+// dangle for the push_back and the delivery callback.
+void GmAbcastProcess::deliver_msg(AppMessagePtr msg) {
   if (!delivered_.insert(msg->id).second) return;
   msgs_.erase(msg->id);  // content lives on in the log
   log_.push_back(msg);

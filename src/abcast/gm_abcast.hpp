@@ -96,7 +96,7 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   void try_advance_ack();
   void try_deliver_sequencer();
   void deliver_up_to(std::int64_t sn);
-  void deliver_msg(const AppMessagePtr& msg);
+  void deliver_msg(AppMessagePtr msg);
   void drop_mappings_above_floor();
   void send_buffered();
   [[nodiscard]] bool active_sequencer() const { return is_sequencer() && !frozen_; }

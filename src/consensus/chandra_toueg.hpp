@@ -58,7 +58,7 @@ struct StartInfo {
   /// proposal is safe).  Lets the client refresh the proposal with work
   /// that arrived after the instance started, so messages queued behind a
   /// stalled round are batched into its recovery instead of waiting.
-  std::function<net::PayloadPtr()> refresh;
+  std::function<net::PayloadPtr()> refresh{};
 };
 
 class ConsensusService;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.hpp"
+
 namespace fdgm::core {
 
 namespace {
@@ -58,14 +60,41 @@ ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
   return {stats.mean(), true, stats.count()};
 }
 
+/// One crash-transient replica; returns the probe latency, < 0 on failure.
+double transient_replica(const SimConfig& cfg, const TransientConfig& tc,
+                         std::uint64_t seed) {
+  SimConfig c = cfg;
+  c.seed = seed;
+  SimRun run(c, WorkloadConfig{.throughput = tc.throughput});
+  run.start();
+  run.run_until(tc.warmup_ms);
+
+  // At tc: crash p and have q A-broadcast the probe message.
+  run.system().crash(tc.crash);
+  const abcast::MsgId probe = run.proc(tc.sender).a_broadcast();
+  run.recorder().on_broadcast(probe, run.system().now());
+
+  auto& sched = run.system().scheduler();
+  const sim::Time deadline = sched.now() + tc.probe_timeout_ms;
+  while (run.recorder().latency_of(probe) < 0 && sched.now() < deadline)
+    sched.run_until(sched.now() + 50.0);
+  return run.recorder().latency_of(probe);
+}
+
 }  // namespace
 
 PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
                        const std::vector<net::ProcessId>& initial_crashes) {
+  // Fan the replicas out; results come back indexed by replica, so the
+  // reduction below is identical for any job count.
+  const std::vector<ReplicaOutcome> outcomes =
+      parallel_map(sc.replicas, sc.jobs, [&](std::size_t r) {
+        return steady_replica(cfg, sc, initial_crashes, cfg.seed + r);
+      });
+
   std::vector<double> means;
   PointResult out;
-  for (std::size_t r = 0; r < sc.replicas; ++r) {
-    const ReplicaOutcome o = steady_replica(cfg, sc, initial_crashes, cfg.seed + r);
+  for (const ReplicaOutcome& o : outcomes) {
     if (!o.stable) {
       out.stable = false;
       continue;
@@ -85,25 +114,12 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
 }
 
 TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc) {
+  const std::vector<double> raw = parallel_map(
+      tc.replicas, tc.jobs,
+      [&](std::size_t r) { return transient_replica(cfg, tc, cfg.seed + r); });
+
   std::vector<double> lats;
-  for (std::size_t r = 0; r < tc.replicas; ++r) {
-    SimConfig c = cfg;
-    c.seed = cfg.seed + r;
-    SimRun run(c, WorkloadConfig{.throughput = tc.throughput});
-    run.start();
-    run.run_until(tc.warmup_ms);
-
-    // At tc: crash p and have q A-broadcast the probe message.
-    abcast::MsgId probe{};
-    run.system().crash(tc.crash);
-    probe = run.proc(tc.sender).a_broadcast();
-    run.recorder().on_broadcast(probe, run.system().now());
-
-    auto& sched = run.system().scheduler();
-    const sim::Time deadline = sched.now() + tc.probe_timeout_ms;
-    while (run.recorder().latency_of(probe) < 0 && sched.now() < deadline)
-      sched.run_until(sched.now() + 50.0);
-    const double L = run.recorder().latency_of(probe);
+  for (double L : raw) {
     if (L < 0) return TransientResult{util::MeanCi{std::nan(""), 0.0, 0}, false};
     lats.push_back(L);
   }
@@ -111,15 +127,32 @@ TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc) {
 }
 
 TransientResult run_transient_worst_sender(const SimConfig& cfg, TransientConfig tc) {
+  // Flatten the (sender, replica) grid into one index space so a single
+  // fan-out keeps all workers busy across sender boundaries.
+  std::vector<net::ProcessId> senders;
+  for (net::ProcessId q = 0; q < cfg.n; ++q)
+    if (q != tc.crash) senders.push_back(q);
+
+  const std::size_t grid = senders.size() * tc.replicas;
+  const std::vector<double> raw = parallel_map(grid, tc.jobs, [&](std::size_t i) {
+    TransientConfig per = tc;
+    per.sender = senders[i / tc.replicas];
+    return transient_replica(cfg, per, cfg.seed + i % tc.replicas);
+  });
+
+  // Reduce per sender, in sender order — exactly the sequential semantics.
   TransientResult worst{util::MeanCi{}, true};
   bool first = true;
-  for (net::ProcessId q = 0; q < cfg.n; ++q) {
-    if (q == tc.crash) continue;
-    tc.sender = q;
-    const TransientResult r = run_transient(cfg, tc);
-    if (!r.stable) return r;
-    if (first || r.latency.mean > worst.latency.mean) {
-      worst = r;
+  for (std::size_t s = 0; s < senders.size(); ++s) {
+    std::vector<double> lats;
+    for (std::size_t r = 0; r < tc.replicas; ++r) {
+      const double L = raw[s * tc.replicas + r];
+      if (L < 0) return TransientResult{util::MeanCi{std::nan(""), 0.0, 0}, false};
+      lats.push_back(L);
+    }
+    const TransientResult res{util::mean_ci_95(lats), true};
+    if (first || res.latency.mean > worst.latency.mean) {
+      worst = res;
       first = false;
     }
   }

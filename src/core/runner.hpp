@@ -27,6 +27,10 @@ struct SteadyConfig {
   double stale_age_ms = 4000.0;
   /// Independent replica runs (seeds seed, seed+1, ...).
   std::size_t replicas = 5;
+  /// Worker threads fanning the replicas out (0 = one per hardware
+  /// thread).  Replica seeding and aggregation order are independent of
+  /// the job count, so any value produces bit-identical results.
+  std::size_t jobs = 1;
 };
 
 struct PointResult {
@@ -47,6 +51,9 @@ struct TransientConfig {
   net::ProcessId sender = 1;  // q: process that A-broadcasts m at tc
   double probe_timeout_ms = 30000.0;
   std::size_t replicas = 10;
+  /// Worker threads fanning the replicas (and, for the worst-sender
+  /// variant, the sender grid) out; 0 = one per hardware thread.
+  std::size_t jobs = 1;
 };
 
 struct TransientResult {

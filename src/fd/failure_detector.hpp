@@ -23,7 +23,7 @@ class SuspicionListener {
   virtual void on_suspect(net::ProcessId p) = 0;
 
   /// The local failure detector stopped suspecting p.
-  virtual void on_trust(net::ProcessId p) {}
+  virtual void on_trust(net::ProcessId /*p*/) {}
 };
 
 class FailureDetector {

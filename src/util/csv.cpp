@@ -1,7 +1,9 @@
 #include "util/csv.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -65,6 +67,82 @@ void Table::print_csv(std::ostream& os) const {
   };
   emit(header_);
   for (const auto& r : rows_) emit(r);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A cell is emitted as a bare JSON number only when the whole string is a
+/// valid JSON numeric literal ("-", "unstable", "+5", "0x1f" stay strings).
+bool is_plain_number(const std::string& s) {
+  // strtod accepts more than JSON does (hex, inf, leading '+', ".5", "1.");
+  // restrict to JSON's grammar: -?digits(.digits)?([eE][+-]?digits)?
+  std::size_t i = 0;
+  if (i < s.size() && s[i] == '-') ++i;
+  const std::size_t int_start = i;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i == int_start) return false;
+  if (s[int_start] == '0' && i - int_start > 1) return false;  // no leading zeros
+  if (i < s.size() && s[i] == '.') {
+    const std::size_t frac_start = ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == frac_start) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    const std::size_t exp_start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == exp_start) return false;
+  }
+  return i == s.size();
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << '"' << json_escape(header_[c]) << "\": ";
+      if (is_plain_number(rows_[r][c]))
+        os << rows_[r][c];
+      else
+        os << '"' << json_escape(rows_[r][c]) << '"';
+      if (c + 1 < header_.size()) os << ", ";
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
 }
 
 }  // namespace fdgm::util

@@ -25,6 +25,11 @@ class Table {
   /// RFC-4180-ish CSV rendering.
   void print_csv(std::ostream& os) const;
 
+  /// JSON rendering: an array of objects keyed by the header.  Cells that
+  /// parse as finite numbers are emitted as numbers, everything else as
+  /// strings.
+  void print_json(std::ostream& os) const;
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
 

@@ -123,7 +123,9 @@ TEST(Scenario, SuspicionSteadyGmWorseThanFdAtModerateTmr) {
   const PointResult fd = run_steady(fd_cfg, sc);
   const PointResult gm = run_steady(gm_cfg, sc);
   ASSERT_TRUE(fd.stable);
-  if (gm.stable) EXPECT_GT(gm.latency.mean, fd.latency.mean);
+  if (gm.stable) {
+    EXPECT_GT(gm.latency.mean, fd.latency.mean);
+  }
 }
 
 TEST(Scenario, SuspicionSteadyGmSensitiveToMistakeDuration) {
@@ -143,7 +145,9 @@ TEST(Scenario, SuspicionSteadyGmSensitiveToMistakeDuration) {
   const PointResult fd = run_steady(fd_cfg, sc);
   const PointResult gm = run_steady(gm_cfg, sc);
   ASSERT_TRUE(fd.stable);
-  if (gm.stable) EXPECT_GT(gm.latency.mean, 1.5 * fd.latency.mean);
+  if (gm.stable) {
+    EXPECT_GT(gm.latency.mean, 1.5 * fd.latency.mean);
+  }
 }
 
 TEST(Scenario, CrashTransientFdBeatsGm) {
