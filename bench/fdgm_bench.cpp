@@ -13,6 +13,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@ struct Options {
   std::string out_dir;  // empty: stdout
   bool list = false;
   bool all = false;
+  fault::FaultSchedule faults;
 };
 
 void print_usage() {
@@ -44,6 +47,11 @@ void print_usage() {
       "  --seed S          base seed (default 1000; replica r uses S+r)\n"
       "  --format F        table | csv | json (default table)\n"
       "  --out DIR         write one <scenario>.<ext> file per scenario\n"
+      "  --faults SPEC     inject a fault schedule into every simulation, e.g.\n"
+      "                    \"crash p0 @500; partition {0,1|2} @1000 heal @3000\"\n"
+      "                    (events: crash/recover p<i> @t; partition {..|..} @t\n"
+      "                    heal @t; loss <rate> @t for <dur>; delay x<f> @t for\n"
+      "                    <dur>; storm p<i>,.. @t for <dur>; see README)\n"
       "  --help            this text\n"
       "\n"
       "Environment:\n"
@@ -116,6 +124,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
       opt.out_dir = v;
+    } else if (a == "--faults") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      try {
+        opt.faults = fault::FaultSchedule::parse(v);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "fdgm_bench: " << e.what() << '\n';
+        return false;
+      }
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "fdgm_bench: unknown option '" << a << "' (see --help)\n";
       return false;
@@ -180,6 +197,15 @@ int run(const Options& opt) {
   ctx.budget = budget_from_env();
   ctx.jobs = opt.jobs;
   ctx.seed = opt.seed;
+  ctx.faults = opt.faults;
+
+  // One worker pool for the whole invocation: every scenario's fill_rows
+  // reuses the same threads instead of spawning a pool per sweep.
+  std::unique_ptr<core::ThreadPool> pool;
+  if (const std::size_t workers = core::effective_jobs(opt.jobs); workers > 1) {
+    pool = std::make_unique<core::ThreadPool>(workers);
+    ctx.pool = pool.get();
+  }
 
   for (const Scenario* s : selected) {
     const util::Table table = s->run(ctx);

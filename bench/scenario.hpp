@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "core/parallel.hpp"
+#include "fault/fault_schedule.hpp"
 #include "util/csv.hpp"
 
 namespace fdgm::bench {
@@ -26,6 +27,14 @@ struct ScenarioContext {
   std::size_t jobs = 1;
   /// Base seed; replica r of a point uses seed + r exactly as before.
   std::uint64_t seed = 1000;
+  /// Worker pool shared across every fill_rows call of the whole bench
+  /// invocation (one pool per process instead of one per sweep).  Null:
+  /// fall back to a transient pool per call.
+  core::ThreadPool* pool = nullptr;
+  /// Extra fault schedule from the CLI (--faults), applied to every
+  /// simulation of the sweep on top of whatever the scenario injects.
+  /// Events referencing processes outside a run's 0..n-1 are skipped.
+  fault::FaultSchedule faults;
 };
 
 struct Scenario {
@@ -64,6 +73,16 @@ inline core::SteadyConfig steady_from_ctx(double throughput, const ScenarioConte
   return steady_config(throughput, ctx.budget);
 }
 
+/// Shared helper: SimConfig from a context — seed plus the CLI-level fault
+/// schedule.  Every scenario builds its configs through this so that
+/// `fdgm_bench <scenario> --faults "..."` affects any sweep.
+inline core::SimConfig sim_config_ctx(core::Algorithm a, int n, const ScenarioContext& ctx,
+                                      double lambda = 1.0) {
+  core::SimConfig cfg = sim_config(a, n, lambda, ctx.seed);
+  cfg.faults = ctx.faults;
+  return cfg;
+}
+
 /// Appends "mean, ci95" cells for a steady or transient result
 /// ("unstable, -" when the point saturated — mirroring the paper leaving
 /// such settings off the graphs).  Both result types expose .stable and
@@ -79,6 +98,20 @@ void add_point_cells(std::vector<std::string>& row, const Result& r) {
   row.push_back(util::Table::cell(r.latency.half_width));
 }
 
+/// add_point_cells for windowed results: "mean, ci95" cells per window,
+/// "unstable, -" per window when the point failed to converge/drain.
+inline void add_window_cells(std::vector<std::string>& row, const core::WindowedResult& r) {
+  for (const util::MeanCi& w : r.windows) {
+    if (!r.stable) {
+      row.emplace_back("unstable");
+      row.emplace_back("-");
+    } else {
+      row.push_back(util::Table::cell(w.mean));
+      row.push_back(util::Table::cell(w.half_width));
+    }
+  }
+}
+
 /// One sweep point = one row job.  The driver fans the jobs out across
 /// ctx.jobs workers and appends the rows in declaration order, so the
 /// rendered table is identical for every job count.
@@ -87,7 +120,11 @@ using RowJob = std::function<std::vector<std::string>()>;
 inline void fill_rows(util::Table& table, const ScenarioContext& ctx,
                       const std::vector<RowJob>& row_jobs) {
   std::vector<std::vector<std::string>> rows =
-      core::parallel_map(row_jobs.size(), ctx.jobs, [&](std::size_t i) { return row_jobs[i](); });
+      ctx.pool != nullptr
+          ? core::parallel_map(*ctx.pool, row_jobs.size(),
+                               [&](std::size_t i) { return row_jobs[i](); })
+          : core::parallel_map(row_jobs.size(), ctx.jobs,
+                               [&](std::size_t i) { return row_jobs[i](); });
   for (auto& r : rows) table.add_row(std::move(r));
 }
 

@@ -16,12 +16,12 @@ util::Table run_nonuniform(const ScenarioContext& ctx) {
   for (int n : {3, 7}) {
     for (double t : throughput_sweep(n)) {
       jobs.push_back([n, t, &ctx] {
-        const auto fd = core::run_steady(sim_config(core::Algorithm::kFd, n, 1.0, ctx.seed),
+        const auto fd = core::run_steady(sim_config_ctx(core::Algorithm::kFd, n, ctx),
                                          steady_from_ctx(t, ctx));
-        const auto gm = core::run_steady(sim_config(core::Algorithm::kGm, n, 1.0, ctx.seed),
+        const auto gm = core::run_steady(sim_config_ctx(core::Algorithm::kGm, n, ctx),
                                          steady_from_ctx(t, ctx));
         const auto nu = core::run_steady(
-            sim_config(core::Algorithm::kGmNonUniform, n, 1.0, ctx.seed), steady_from_ctx(t, ctx));
+            sim_config_ctx(core::Algorithm::kGmNonUniform, n, ctx), steady_from_ctx(t, ctx));
         std::vector<std::string> row{std::to_string(n), util::Table::cell(t, 0)};
         add_point_cells(row, fd);
         add_point_cells(row, gm);

@@ -1,0 +1,73 @@
+// Crash-recovery churn scenario (beyond the paper's figures): one process
+// of five repeatedly crashes and recovers while the others keep
+// broadcasting.  Each recovery makes the GM algorithm pay a full
+// exclusion + readmission (view change, state transfer); the FD algorithm
+// only re-syncs the recovered process's log on the side, so its latency
+// should stay close to the crash-steady level.  The sweep varies the
+// detection time TD and the downtime per cycle.
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr int kN = 5;
+constexpr net::ProcessId kChurner = 4;  // never the initial coordinator/sequencer
+constexpr double kUptime = 1500.0;      // alive span per cycle (ms)
+constexpr int kCycles = 3;
+
+util::Table run_churn(const ScenarioContext& ctx) {
+  util::Table table({"n", "TD [ms]", "down [ms]", "T [1/s]", "FD [ms]", "FD ci95", "GM [ms]",
+                     "GM ci95"});
+  const double throughput = 100.0;
+  std::vector<RowJob> jobs;
+  for (double td : {0.0, 100.0}) {
+    for (double down : {250.0, 1000.0}) {
+      jobs.push_back([td, down, throughput, &ctx] {
+        const double t0 = ctx.budget.warmup_ms;
+        const double period = kUptime + down;
+        const double t_end = t0 + 500.0 + kCycles * period + 500.0;
+
+        fault::FaultSchedule churn;
+        for (int c = 0; c < kCycles; ++c) {
+          fault::FaultEvent crash;
+          crash.kind = fault::FaultKind::kCrash;
+          crash.process = kChurner;
+          crash.at = t0 + 500.0 + c * period;
+          churn.add(crash);
+          fault::FaultEvent recover;
+          recover.kind = fault::FaultKind::kRecover;
+          recover.process = kChurner;
+          recover.at = crash.at + down;
+          churn.add(recover);
+        }
+
+        core::WindowedConfig wc;
+        wc.throughput = throughput;
+        wc.t_end = t_end;
+        wc.windows = {{t0, t_end}};
+        wc.replicas = ctx.budget.replicas;
+
+        std::vector<std::string> row{std::to_string(kN), util::Table::cell(td, 0),
+                                     util::Table::cell(down, 0),
+                                     util::Table::cell(throughput, 0)};
+        for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+          core::SimConfig cfg = sim_config_ctx(algo, kN, ctx);
+          cfg.fd_params.detection_time = td;
+          cfg.faults.merge(churn);
+          add_window_cells(row, core::run_windowed(cfg, wc));
+        }
+        return row;
+      });
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"crash_recovery_churn",
+                             "Crash-recovery churn: repeated crash+rejoin of one process, "
+                             "GM view-change cost vs FD log sync",
+                             "beyond paper", run_churn}};
+
+}  // namespace
+}  // namespace fdgm::bench

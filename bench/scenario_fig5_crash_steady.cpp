@@ -23,8 +23,8 @@ util::Table run_fig5(const ScenarioContext& ctx) {
     for (int crashes = 0; crashes <= max_crashes; ++crashes) {
       for (double t : throughput_sweep(n)) {
         jobs.push_back([n, crashes, t, &ctx] {
-          auto fd_cfg = sim_config(core::Algorithm::kFd, n, 1.0, ctx.seed);
-          auto gm_cfg = sim_config(core::Algorithm::kGm, n, 1.0, ctx.seed);
+          auto fd_cfg = sim_config_ctx(core::Algorithm::kFd, n, ctx);
+          auto gm_cfg = sim_config_ctx(core::Algorithm::kGm, n, ctx);
           fd_cfg.fd_params.detection_time = 0.0;
           gm_cfg.fd_params.detection_time = 0.0;
           auto sc = steady_from_ctx(t, ctx);

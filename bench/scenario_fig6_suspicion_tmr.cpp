@@ -18,8 +18,8 @@ util::Table run_fig6(const ScenarioContext& ctx) {
     for (double t : {10.0, 300.0}) {
       for (double tmr : tmr_sweep) {
         jobs.push_back([n, t, tmr, &ctx] {
-          auto fd_cfg = sim_config(core::Algorithm::kFd, n, 1.0, ctx.seed);
-          auto gm_cfg = sim_config(core::Algorithm::kGm, n, 1.0, ctx.seed);
+          auto fd_cfg = sim_config_ctx(core::Algorithm::kFd, n, ctx);
+          auto gm_cfg = sim_config_ctx(core::Algorithm::kGm, n, ctx);
           for (auto* cfg : {&fd_cfg, &gm_cfg}) {
             cfg->fd_params.wrong_suspicions = true;
             cfg->fd_params.mistake_recurrence = tmr;

@@ -27,8 +27,8 @@ util::Table run_fig7(const ScenarioContext& ctx) {
   for (const Panel& p : panels) {
     for (double tm : tm_sweep) {
       jobs.push_back([p, tm, &ctx] {
-        auto fd_cfg = sim_config(core::Algorithm::kFd, p.n, 1.0, ctx.seed);
-        auto gm_cfg = sim_config(core::Algorithm::kGm, p.n, 1.0, ctx.seed);
+        auto fd_cfg = sim_config_ctx(core::Algorithm::kFd, p.n, ctx);
+        auto gm_cfg = sim_config_ctx(core::Algorithm::kGm, p.n, ctx);
         for (auto* cfg : {&fd_cfg, &gm_cfg}) {
           cfg->fd_params.wrong_suspicions = true;
           cfg->fd_params.mistake_recurrence = p.tmr;

@@ -23,8 +23,8 @@ util::Table run_fig8(const ScenarioContext& ctx) {
           tc.throughput = t;
           tc.crash = 0;
           tc.replicas = std::max<std::size_t>(6, ctx.budget.replicas * 2);
-          auto fd_cfg = sim_config(core::Algorithm::kFd, n, 1.0, ctx.seed);
-          auto gm_cfg = sim_config(core::Algorithm::kGm, n, 1.0, ctx.seed);
+          auto fd_cfg = sim_config_ctx(core::Algorithm::kFd, n, ctx);
+          auto gm_cfg = sim_config_ctx(core::Algorithm::kGm, n, ctx);
           fd_cfg.fd_params.detection_time = td;
           gm_cfg.fd_params.detection_time = td;
           auto fd = core::run_transient_worst_sender(fd_cfg, tc);

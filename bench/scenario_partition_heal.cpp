@@ -1,0 +1,62 @@
+// Partition-heal scenario (beyond the paper's figures): a 5-process system
+// splits into a majority {p0,p1,p2} — which keeps the coordinator /
+// sequencer — and a minority {p3,p4}; cross-partition messages are held by
+// the transport and delivered at the heal (quasi-reliable channels).  The
+// table reports the latency of messages broadcast before the split, during
+// it, and after the heal.  Expected shape: the majority side keeps
+// working, so the "split" column grows roughly with the partition length
+// (minority messages wait for the heal) and the "healed" column returns to
+// the "pre" level; FD and GM behave alike — no failure detector fires, so
+// GM pays no view change.
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr int kN = 5;
+constexpr double kPhase = 1500.0;  // pre / split / healed phase length (ms)
+
+util::Table run_partition_heal(const ScenarioContext& ctx) {
+  util::Table table({"n", "T [1/s]", "FD pre [ms]", "ci95", "FD split [ms]", "ci95",
+                     "FD healed [ms]", "ci95", "GM pre [ms]", "ci95", "GM split [ms]", "ci95",
+                     "GM healed [ms]", "ci95"});
+  std::vector<RowJob> jobs;
+  for (double t : {50.0, 100.0, 200.0}) {
+    jobs.push_back([t, &ctx] {
+      const double t0 = ctx.budget.warmup_ms;
+      const double t1 = t0 + kPhase;  // split
+      const double t2 = t1 + kPhase;  // heal
+      const double t3 = t2 + kPhase;  // end of measurement
+
+      fault::FaultEvent split;
+      split.kind = fault::FaultKind::kPartition;
+      split.groups = {{0, 1, 2}, {3, 4}};
+      split.at = t1;
+      split.until = t2;
+
+      core::WindowedConfig wc;
+      wc.throughput = t;
+      wc.t_end = t3;
+      wc.windows = {{t0, t1}, {t1, t2}, {t2, t3}};
+      wc.replicas = ctx.budget.replicas;
+
+      std::vector<std::string> row{std::to_string(kN), util::Table::cell(t, 0)};
+      for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+        core::SimConfig cfg = sim_config_ctx(algo, kN, ctx);
+        cfg.faults.add(split);
+        add_window_cells(row, core::run_windowed(cfg, wc));
+      }
+      return row;
+    });
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"partition_heal",
+                             "Partition-heal scenario: latency before/during/after a "
+                             "minority-majority split",
+                             "beyond paper", run_partition_heal}};
+
+}  // namespace
+}  // namespace fdgm::bench

@@ -1,0 +1,65 @@
+// Suspicion-storm scenario (beyond the paper's figures): instead of the
+// independent per-pair mistakes of Figs. 6-7, every alive process wrongly
+// suspects the initial coordinator / sequencer p0 *simultaneously*, for a
+// window of D ms, four times per run.  Correlated storms are the
+// worst case for the GM algorithm — each one excludes p0 and forces a
+// view change plus readmission — while the FD algorithm only pays a round
+// change when p0 coordinates.  Expected shape: GM degrades sharply with
+// the storm duration, FD stays within a few round trips of normal.
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr double kStormGap = 600.0;  // start-to-start gap between storms (ms)
+constexpr int kStorms = 4;
+
+util::Table run_storm(const ScenarioContext& ctx) {
+  util::Table table(
+      {"n", "D [ms]", "T [1/s]", "FD [ms]", "FD ci95", "GM [ms]", "GM ci95"});
+  const double throughput = 100.0;
+  std::vector<RowJob> jobs;
+  for (int n : {3, 7}) {
+    for (double dur : {1.0, 25.0, 100.0}) {
+      jobs.push_back([n, dur, throughput, &ctx] {
+        const double t0 = ctx.budget.warmup_ms;
+        const double t_end = t0 + 300.0 + kStorms * kStormGap + 500.0;
+
+        fault::FaultSchedule storms;
+        for (int s = 0; s < kStorms; ++s) {
+          fault::FaultEvent storm;
+          storm.kind = fault::FaultKind::kSuspicionStorm;
+          storm.accused = {0};
+          storm.at = t0 + 300.0 + s * kStormGap;
+          storm.until = storm.at + dur;
+          storms.add(storm);
+        }
+
+        core::WindowedConfig wc;
+        wc.throughput = throughput;
+        wc.t_end = t_end;
+        wc.windows = {{t0, t_end}};
+        wc.replicas = ctx.budget.replicas;
+
+        std::vector<std::string> row{std::to_string(n), util::Table::cell(dur, 0),
+                                     util::Table::cell(throughput, 0)};
+        for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+          core::SimConfig cfg = sim_config_ctx(algo, n, ctx);
+          cfg.faults.merge(storms);
+          add_window_cells(row, core::run_windowed(cfg, wc));
+        }
+        return row;
+      });
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"suspicion_storm",
+                             "Suspicion storms: correlated wrong suspicions of the "
+                             "coordinator/sequencer vs Figs. 6-7's marginal sweep",
+                             "beyond paper", run_storm}};
+
+}  // namespace
+}  // namespace fdgm::bench

@@ -58,6 +58,13 @@ class AtomicBroadcastProcess {
   /// No-op (returns a null id with seq 0) on a crashed process.
   virtual MsgId a_broadcast() = 0;
 
+  /// Crash-recovery hook, invoked by the fault injector right after
+  /// net::System::restart(p).  The process models stable storage as its
+  /// A-delivery log plus its own message counter; everything else is
+  /// volatile and must be discarded before rejoining (GM: via the
+  /// membership JOIN/state-transfer path; FD: via a log sync with a peer).
+  virtual void on_restart() {}
+
   virtual void set_deliver_callback(DeliverFn fn) = 0;
 
   [[nodiscard]] virtual net::ProcessId id() const = 0;

@@ -10,6 +10,26 @@ constexpr int kDataTag = 0x41424344;        // "ABCD": data dissemination channe
 constexpr std::uint32_t kAbcastContext = 0;  // consensus context of the FD algorithm
 }  // namespace
 
+// ------------------------------------------------ crash-recovery wire types
+
+/// "Send me everything after log position `log_len`."
+class FdAbcastProcess::SyncReq final : public net::Payload {
+ public:
+  explicit SyncReq(std::uint64_t log_len) : log_len(log_len) {}
+  std::uint64_t log_len;
+};
+
+/// A peer's snapshot: the log suffix the requester misses, the peer's
+/// consensus position, its rotation anchors and its undecided contents.
+class FdAbcastProcess::SyncResp final : public net::Payload {
+ public:
+  std::uint64_t from_len = 0;                        // echo of the request
+  std::vector<AppMessagePtr> suffix;                 // log_[from_len..)
+  std::uint64_t next = 1;                            // peer's next_to_process_
+  std::map<std::uint64_t, net::ProcessId> winners;   // rotation anchors
+  std::vector<AppMessagePtr> pending;                // undecided contents
+};
+
 FdAbcastProcess::FdAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
                                  FdAbcastConfig cfg)
     : sys_(&sys),
@@ -18,6 +38,7 @@ FdAbcastProcess::FdAbcastProcess(net::System& sys, net::ProcessId self, fd::Fail
       cfg_(cfg),
       rb_(sys, self, fd, rbcast::RbConfig{.relay_on_suspicion = false}),
       consensus_(sys, self, fd, rb_) {
+  sys.node(self).register_handler(net::ProtocolId::kAtomicBroadcast, this);
   rb_.register_client(kDataTag, [this](const rbcast::RbId& id, net::ProcessId /*origin*/,
                                        const net::PayloadPtr& inner) { on_data(id, inner); });
   consensus_.register_context(
@@ -37,12 +58,120 @@ FdAbcastProcess::FdAbcastProcess(net::System& sys, net::ProcessId self, fd::Fail
       });
 }
 
+FdAbcastProcess::~FdAbcastProcess() {
+  sys_->node(self_).register_handler(net::ProtocolId::kAtomicBroadcast, nullptr);
+}
+
 MsgId FdAbcastProcess::a_broadcast() {
   if (sys_->node(self_).crashed()) return MsgId{};
   const MsgId id{self_, next_msg_seq_++};
   auto msg = std::make_shared<AppMessage>(id, sys_->now());
   rb_.broadcast(kDataTag, msg);  // delivers locally too -> on_data
   return id;
+}
+
+// ------------------------------------------------- crash-recovery catch-up
+
+void FdAbcastProcess::on_restart() {
+  // Stable storage: log_, delivered_ids_, next_msg_seq_.  Decisions and
+  // message contents are objective data and stay; only this incarnation's
+  // proposal marks are void (our in-flight proposals died with us), so
+  // every still-pending id becomes proposable again.
+  proposed_in_.clear();
+  syncing_ = true;
+  ++sync_epoch_;
+  send_sync_req();
+  watch_log_ = log_.size();
+  watch_next_ = next_to_process_;
+  const std::uint64_t epoch = sync_epoch_;
+  sys_->scheduler().schedule_after(cfg_.sync_retry, [this, epoch] { catchup_tick(epoch); });
+}
+
+void FdAbcastProcess::send_sync_req() {
+  std::vector<net::ProcessId> others;
+  for (net::ProcessId p : sys_->all())
+    if (p != self_) others.push_back(p);
+  if (others.empty()) {
+    syncing_ = false;  // single-process system: nothing to catch up on
+    return;
+  }
+  sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
+                              std::make_shared<SyncReq>(log_.size()));
+}
+
+void FdAbcastProcess::catchup_tick(std::uint64_t epoch) {
+  if (epoch != sync_epoch_) return;   // superseded by a newer restart
+  if (sys_->node(self_).crashed()) return;  // dies with us; a restart re-arms
+  // Re-request while behind: either no peer answered yet, or nothing
+  // progressed over a whole period although work is outstanding (a
+  // decision or content we will never receive was in flight during the
+  // previous sync).  A healthy process makes progress between ticks and
+  // sends nothing here.
+  const bool stalled = log_.size() == watch_log_ && next_to_process_ == watch_next_;
+  const bool outstanding = !pending_.empty() || !ready_decisions_.empty();
+  if (syncing_ || (stalled && outstanding)) send_sync_req();
+  if (!syncing_ && !outstanding) return;  // caught up and quiet: the watchdog retires
+  watch_log_ = log_.size();
+  watch_next_ = next_to_process_;
+  sys_->scheduler().schedule_after(cfg_.sync_retry, [this, epoch] { catchup_tick(epoch); });
+}
+
+void FdAbcastProcess::handle_sync_req(net::ProcessId from, const SyncReq& req) {
+  // Only a peer that can cover the whole missing suffix responds, and only
+  // the first such peer by id (by local suspicion knowledge) — the
+  // requester ignores duplicates, this merely bounds the traffic.
+  if (log_.size() < req.log_len) return;
+  for (net::ProcessId q : sys_->all())
+    if (q != from && q != self_ && q < self_ && !fd_->suspects(q)) return;
+  auto resp = std::make_shared<SyncResp>();
+  resp->from_len = req.log_len;
+  resp->suffix.assign(log_.begin() + static_cast<std::ptrdiff_t>(req.log_len), log_.end());
+  resp->next = next_to_process_;
+  resp->winners = winners_;
+  resp->pending.reserve(pending_.size());
+  for (const auto& [id, msg] : pending_) resp->pending.push_back(msg);
+  sys_->node(self_).send(from, net::ProtocolId::kAtomicBroadcast, std::move(resp));
+}
+
+void FdAbcastProcess::apply_sync_resp(const SyncResp& resp) {
+  if (resp.from_len != log_.size()) return;  // stale (an earlier sync applied)
+  syncing_ = false;
+  for (const AppMessagePtr& msg : resp.suffix) {
+    if (!delivered_ids_.insert(msg->id).second) continue;
+    pending_.erase(msg->id);
+    proposed_in_.erase(msg->id);
+    if (auto rit = rb_ids_.find(msg->id); rit != rb_ids_.end()) {
+      rb_.release(rit->second);
+      rb_ids_.erase(rit);
+    }
+    log_.push_back(msg);
+    if (deliver_cb_) deliver_cb_(*msg);
+  }
+  for (const AppMessagePtr& msg : resp.pending)
+    if (!delivered_ids_.contains(msg->id)) pending_.emplace(msg->id, msg);
+  if (resp.next > next_to_process_) {
+    next_to_process_ = resp.next;
+    for (const auto& [number, winner] : resp.winners) winners_.insert_or_assign(number, winner);
+    while (!winners_.empty() && winners_.begin()->first + cfg_.pipeline < next_to_process_)
+      winners_.erase(winners_.begin());
+    ready_decisions_.erase(ready_decisions_.begin(),
+                           ready_decisions_.lower_bound(next_to_process_));
+    consensus_.close_below(kAbcastContext, next_to_process_);
+  }
+  process_ready_decisions();
+  maybe_start_next();
+}
+
+void FdAbcastProcess::on_message(const net::Message& m) {
+  if (auto req = net::payload_cast<SyncReq>(m)) {
+    handle_sync_req(m.src, *req);
+    return;
+  }
+  if (auto resp = net::payload_cast<SyncResp>(m)) {
+    apply_sync_resp(*resp);
+    return;
+  }
+  throw std::logic_error("FdAbcastProcess: foreign payload");
 }
 
 void FdAbcastProcess::on_data(const rbcast::RbId& rb_id, const net::PayloadPtr& inner) {

@@ -49,20 +49,37 @@ struct FdAbcastConfig {
   /// Pipeline depth W: instance #k may start once decision #(k-W) was
   /// processed.  1 = strictly sequential instances.
   std::uint64_t pipeline = 2;
+  /// Crash-recovery catch-up: period (ms) of the watchdog that re-requests
+  /// a log sync from the peers while the recovered process is behind.
+  double sync_retry = 100.0;
 };
 
-class FdAbcastProcess final : public AtomicBroadcastProcess {
+/// The FD algorithm assumes crash-stop processes; crash-*recovery* is an
+/// extension for the fault-injection scenarios: a restarted process keeps
+/// its stable state (A-delivery log, own message counter), discards its
+/// proposal marks and asks a peer for the log suffix and consensus
+/// position it missed (SYNC-REQ / SYNC-RESP over the kAtomicBroadcast
+/// protocol, which the FD stack does not otherwise use).  A periodic
+/// watchdog repeats the request while the process is stalled, which also
+/// covers decisions that were in flight during the first sync.  None of
+/// this adds traffic to failure-free runs.
+class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
  public:
   /// Builds the full protocol stack of one process: reliable broadcast,
   /// consensus service and the atomic broadcast layer on top.
   FdAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
                   FdAbcastConfig cfg = {});
+  ~FdAbcastProcess() override;
 
   // AtomicBroadcastProcess
   MsgId a_broadcast() override;
+  void on_restart() override;
   void set_deliver_callback(DeliverFn fn) override { deliver_cb_ = std::move(fn); }
   [[nodiscard]] net::ProcessId id() const override { return self_; }
   [[nodiscard]] std::uint64_t delivered_count() const override { return log_.size(); }
+
+  // net::Layer — SYNC-REQ / SYNC-RESP (crash-recovery catch-up only).
+  void on_message(const net::Message& m) override;
 
   /// Delivery log (tests: total order / uniform agreement checks).
   [[nodiscard]] const std::vector<AppMessagePtr>& log() const { return log_; }
@@ -85,10 +102,17 @@ class FdAbcastProcess final : public AtomicBroadcastProcess {
     std::vector<MsgId> ids;
   };
 
+  class SyncReq;
+  class SyncResp;
+
   void on_data(const rbcast::RbId& rb_id, const net::PayloadPtr& inner);
   void on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value);
   void maybe_start_next();
   void process_ready_decisions();
+  void send_sync_req();
+  void handle_sync_req(net::ProcessId from, const SyncReq& req);
+  void apply_sync_resp(const SyncResp& resp);
+  void catchup_tick(std::uint64_t epoch);
   /// Builds the proposal (all pending ids) and marks them as proposed in
   /// instance `number`.
   [[nodiscard]] consensus::StartInfo make_start_info(std::uint64_t number);
@@ -124,6 +148,12 @@ class FdAbcastProcess final : public AtomicBroadcastProcess {
   /// Winning proposer per processed decision (pruned below the window):
   /// anchors the coordinator rotation of instance #(k + pipeline).
   std::map<std::uint64_t, net::ProcessId> winners_;
+
+  // Crash-recovery catch-up state.
+  bool syncing_ = false;           // restarted, no sync response applied yet
+  std::uint64_t sync_epoch_ = 0;   // bumped per restart; stale watchdogs die
+  std::uint64_t watch_log_ = 0;    // progress snapshot of the last tick
+  std::uint64_t watch_next_ = 0;
 };
 
 }  // namespace fdgm::abcast

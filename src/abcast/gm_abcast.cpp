@@ -102,6 +102,30 @@ MsgId GmAbcastProcess::a_broadcast() {
   return id;
 }
 
+void GmAbcastProcess::on_restart() {
+  // Crash-recovery: stable storage is the A-delivery log (log_, delivered_),
+  // our own message counter and the buffer of accepted-but-unsent own
+  // messages; every piece of in-flight coordination state belonged to the
+  // dead incarnation.  In particular, stale sequence assignments of a dead
+  // view must not survive — they could collide with the live view's
+  // assignments after the state transfer (emplace keeps the first
+  // mapping).  The floors stay: they are monotone and apply_state raises
+  // them to the state sender's baseline anyway.  own_buffer_ must survive
+  // the restart: the harness records an A-broadcast the moment the
+  // application submits it, so dropping the buffer would leave recorded
+  // messages undeliverable forever (and fail every drain check).
+  msgs_.clear();
+  arrival_order_.clear();
+  sn_of_.clear();
+  msg_at_.clear();
+  recent_delivered_.clear();
+  batch_ends_.clear();
+  acks_.clear();
+  member_ = false;
+  frozen_ = true;
+  membership_.rejoin();
+}
+
 void GmAbcastProcess::handle_data(const AppMessagePtr& msg) {
   if (delivered_.contains(msg->id) || msgs_.contains(msg->id)) return;
   msgs_.emplace(msg->id, msg);

@@ -55,6 +55,7 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
 
   // AtomicBroadcastProcess
   MsgId a_broadcast() override;
+  void on_restart() override;
   void set_deliver_callback(DeliverFn fn) override { deliver_cb_ = std::move(fn); }
   [[nodiscard]] net::ProcessId id() const override { return self_; }
   [[nodiscard]] std::uint64_t delivered_count() const override { return log_.size(); }

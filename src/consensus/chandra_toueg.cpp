@@ -219,7 +219,7 @@ void ConsensusService::register_context(std::uint32_t context, ContextConfig cfg
 }
 
 void ConsensusService::start(const InstanceKey& key, StartInfo info) {
-  if (decided_.contains(key) || instances_.contains(key)) return;
+  if (decided(key) || instances_.contains(key)) return;
   auto inst = std::make_unique<Instance>(*this, key, self_, std::move(info));
   Instance* raw = inst.get();
   instances_.emplace(key, std::move(inst));
@@ -238,14 +238,35 @@ void ConsensusService::retry_buffered(std::uint32_t context) {
   // Collect keys first: start() mutates buffered_.
   std::vector<InstanceKey> keys;
   for (const auto& [key, msgs] : buffered_)
-    if (key.context == context && !instances_.contains(key) && !decided_.contains(key))
+    if (key.context == context && !instances_.contains(key) && !decided(key))
       keys.push_back(key);
   std::sort(keys.begin(), keys.end(),
             [](const InstanceKey& a, const InstanceKey& b) { return a.number < b.number; });
   for (const InstanceKey& key : keys) {
-    if (instances_.contains(key) || decided_.contains(key)) continue;
+    if (instances_.contains(key) || decided(key)) continue;
     if (auto info = cit->second.join(key)) start(key, std::move(*info));
   }
+}
+
+void ConsensusService::close_below(std::uint32_t context, std::uint64_t number) {
+  auto& floor = closed_floor_[context];
+  if (number <= floor) return;
+  floor = number;
+  auto below = [&](const InstanceKey& key) {
+    return key.context == context && key.number < number;
+  };
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    if (below(it->first)) {
+      it->second->halt();
+      it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = buffered_.begin(); it != buffered_.end();)
+    it = below(it->first) ? buffered_.erase(it) : std::next(it);
+  for (auto it = decided_.begin(); it != decided_.end();)
+    it = below(*it) ? decided_.erase(it) : std::next(it);
 }
 
 void ConsensusService::on_message(const net::Message& m) {
@@ -256,7 +277,7 @@ void ConsensusService::on_message(const net::Message& m) {
 
 void ConsensusService::dispatch(net::ProcessId from,
                                 const std::shared_ptr<const ConsensusMsg>& m) {
-  if (decided_.contains(m->key)) return;  // stale traffic for a closed instance
+  if (decided(m->key)) return;  // stale traffic for a closed instance
   if (auto it = instances_.find(m->key); it != instances_.end()) {
     it->second->on_msg(from, *m);
     return;
@@ -295,7 +316,16 @@ void ConsensusService::on_decide_rb(const rbcast::RbId& id, net::ProcessId /*ori
   auto cm = std::dynamic_pointer_cast<const ConsensusMsg>(inner);
   if (!cm || cm->kind != ConsensusMsg::Kind::kDecide)
     throw std::logic_error("ConsensusService: bad decision payload");
-  if (!decided_.insert(cm->key).second) return;  // duplicate decision
+  handle_decision(cm);
+  // Release even when the decision was a duplicate or already settled by
+  // close_below: retaining it would re-multicast a stale decision to
+  // everybody on every later suspicion of its origin.
+  rb_->release(id);
+}
+
+bool ConsensusService::handle_decision(const std::shared_ptr<const ConsensusMsg>& cm) {
+  if (below_floor(cm->key)) return false;  // settled out of band already
+  if (!decided_.insert(cm->key).second) return false;  // duplicate decision
   if (auto it = instances_.find(cm->key); it != instances_.end()) {
     // halt() now; destroy later.  The decision can arrive synchronously
     // from inside the instance's own try_progress (the coordinator's local
@@ -305,10 +335,10 @@ void ConsensusService::on_decide_rb(const rbcast::RbId& id, net::ProcessId /*ori
     sys_->scheduler().schedule_after(0, [this, key] { instances_.erase(key); });
   }
   buffered_.erase(cm->key);
-  rb_->release(id);
   auto cit = contexts_.find(cm->key.context);
   if (cit == contexts_.end()) throw std::logic_error("ConsensusService: unknown context");
   cit->second.on_decide(cm->key, cm->value);
+  return true;
 }
 
 }  // namespace fdgm::consensus

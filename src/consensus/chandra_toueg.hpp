@@ -158,7 +158,16 @@ class ConsensusService final : public net::Layer {
   /// pipeline window advanced, or a view was installed).
   void retry_buffered(std::uint32_t context);
 
-  [[nodiscard]] bool decided(const InstanceKey& key) const { return decided_.contains(key); }
+  /// Crash-recovery catch-up: declare every instance of `context` with a
+  /// number below `number` settled (the client learned their outcomes out
+  /// of band, e.g. through a log sync).  Stale local instances and
+  /// buffered traffic below the floor are dropped, as are their retained
+  /// decisions.  Must not be called from inside an Instance callback.
+  void close_below(std::uint32_t context, std::uint64_t number);
+
+  [[nodiscard]] bool decided(const InstanceKey& key) const {
+    return decided_.contains(key) || below_floor(key);
+  }
   [[nodiscard]] bool running(const InstanceKey& key) const { return instances_.contains(key); }
 
   /// Introspection for tests/debugging: (round, coordinator of round) of a
@@ -193,6 +202,13 @@ class ConsensusService final : public net::Layer {
  private:
   void on_decide_rb(const rbcast::RbId& id, net::ProcessId origin, const net::PayloadPtr& inner);
   void dispatch(net::ProcessId from, const std::shared_ptr<const ConsensusMsg>& m);
+  /// Applies a decision (from rbcast or a direct relay); returns true when
+  /// it was new.
+  bool handle_decision(const std::shared_ptr<const ConsensusMsg>& cm);
+  [[nodiscard]] bool below_floor(const InstanceKey& key) const {
+    auto it = closed_floor_.find(key.context);
+    return it != closed_floor_.end() && key.number < it->second;
+  }
 
   net::System* sys_;
   net::ProcessId self_;
@@ -204,6 +220,9 @@ class ConsensusService final : public net::Layer {
                      InstanceKeyHash>
       buffered_;
   std::unordered_set<InstanceKey, InstanceKeyHash> decided_;
+  /// Per-context floor set by close_below(); instances below it count as
+  /// decided.
+  std::unordered_map<std::uint32_t, std::uint64_t> closed_floor_;
 };
 
 }  // namespace fdgm::consensus

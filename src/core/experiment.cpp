@@ -51,11 +51,18 @@ SimRun::SimRun(const SimConfig& cfg, WorkloadConfig wl) : cfg_(cfg) {
   std::vector<abcast::AtomicBroadcastProcess*> handles;
   for (auto& p : procs_) handles.push_back(p.get());
   workload_ = std::make_unique<Workload>(*sys_, std::move(handles), recorder_, wl);
+
+  if (!cfg.faults.empty()) {
+    injector_ = std::make_unique<fault::Injector>(
+        *sys_, fd_model_.get(), cfg.faults,
+        [this](net::ProcessId p) { procs_[static_cast<std::size_t>(p)]->on_restart(); });
+  }
 }
 
 void SimRun::start() {
   fd_model_->start();
   workload_->start();
+  if (injector_) injector_->arm();
 }
 
 }  // namespace fdgm::core

@@ -14,6 +14,7 @@
 #include "abcast/gm_abcast.hpp"
 #include "core/latency_recorder.hpp"
 #include "core/workload.hpp"
+#include "fault/injector.hpp"
 #include "fd/qos_model.hpp"
 #include "net/system.hpp"
 
@@ -37,6 +38,11 @@ struct SimConfig {
   bool fd_renumbering = true;
   /// GM joiner retry period (ms).
   double gm_join_retry = 50.0;
+  /// Scripted fault schedule, armed when the run starts.  Each replica
+  /// arms the same schedule against its own seeded system (the injector's
+  /// RNG is a fork of the replica master seed), so replicas stay
+  /// independent and results are bit-identical for any job count.
+  fault::FaultSchedule faults;
 };
 
 class SimRun {
@@ -54,8 +60,11 @@ class SimRun {
   [[nodiscard]] LatencyRecorder& recorder() { return recorder_; }
   [[nodiscard]] Workload& workload() { return *workload_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  /// Null when the config carries no fault schedule.
+  [[nodiscard]] fault::Injector* injector() { return injector_.get(); }
 
-  /// Starts the failure-detector renewal processes and the workload.
+  /// Starts the failure-detector renewal processes, the workload and the
+  /// fault injector (if a schedule was configured).
   void start();
 
   /// Convenience: run until simulated time t.
@@ -68,6 +77,7 @@ class SimRun {
   std::vector<std::unique_ptr<abcast::AtomicBroadcastProcess>> procs_;
   LatencyRecorder recorder_;
   std::unique_ptr<Workload> workload_;
+  std::unique_ptr<fault::Injector> injector_;
 };
 
 }  // namespace fdgm::core

@@ -61,21 +61,17 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(std::size_t count, std::size_t jobs,
-                  const std::function<void(std::size_t)>& fn) {
-  jobs = std::min(effective_jobs(jobs), count);
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
+namespace {
 
-  // One task per worker pulling indices from a shared counter: cheap and
-  // balanced even when replica runtimes differ widely.
+/// Shared fan-out body: `tasks` workers pull indices from one counter —
+/// cheap and balanced even when replica runtimes differ widely.  Waits via
+/// `wait` (pool-specific) and rethrows the first captured exception.
+void pull_indices(ThreadPool& pool, std::size_t tasks, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
-  ThreadPool pool(jobs);
-  for (std::size_t w = 0; w < jobs; ++w) {
+  for (std::size_t w = 0; w < tasks; ++w) {
     pool.submit([&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +87,29 @@ void parallel_for(std::size_t count, std::size_t jobs,
   }
   pool.wait_idle();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  jobs = std::min(effective_jobs(jobs), count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs);
+  pull_indices(pool, jobs, count, fn);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t tasks = std::min(pool.workers(), count);
+  if (tasks <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pull_indices(pool, tasks, count, fn);
 }
 
 }  // namespace fdgm::core

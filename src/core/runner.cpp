@@ -126,6 +126,66 @@ TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc) {
   return TransientResult{util::mean_ci_95(lats), true};
 }
 
+namespace {
+
+/// One windowed replica; returns one mean per window, empty on failure.
+std::vector<double> windowed_replica(SimConfig cfg, const WindowedConfig& wc,
+                                     std::uint64_t seed) {
+  cfg.seed = seed;
+  SimRun run(cfg, WorkloadConfig{.throughput = wc.throughput});
+  run.start();
+
+  auto& sched = run.system().scheduler();
+  const double step = 250.0;
+  sched.run_until(wc.t_end);
+  run.workload().stop();
+
+  // Drain: every message of the horizon must be delivered somewhere.
+  const sim::Time drain_deadline = wc.t_end + wc.drain_ms;
+  while (run.recorder().undelivered_in_window(0.0, wc.t_end) > 0) {
+    if (sched.now() > drain_deadline) return {};
+    sched.run_until(sched.now() + step);
+  }
+
+  std::vector<double> means;
+  means.reserve(wc.windows.size());
+  for (const auto& [from, to] : wc.windows) {
+    const util::RunningStats stats = run.recorder().window_stats(from, to);
+    if (stats.count() == 0) return {};  // empty window: nothing to report
+    means.push_back(stats.mean());
+  }
+  return means;
+}
+
+}  // namespace
+
+WindowedResult run_windowed(const SimConfig& cfg, const WindowedConfig& wc) {
+  const std::vector<std::vector<double>> outcomes =
+      parallel_map(wc.replicas, wc.jobs, [&](std::size_t r) {
+        return windowed_replica(cfg, wc, cfg.seed + r);
+      });
+
+  WindowedResult out;
+  std::vector<std::vector<double>> per_window(wc.windows.size());
+  for (const auto& means : outcomes) {
+    if (means.empty()) {
+      out.stable = false;
+      continue;
+    }
+    for (std::size_t w = 0; w < means.size(); ++w) per_window[w].push_back(means[w]);
+  }
+  // Same reporting rule as run_steady: a clear majority of replicas must
+  // have converged.
+  if (per_window.empty() || per_window.front().size() * 2 <= wc.replicas) {
+    out.stable = false;
+    out.windows.assign(wc.windows.size(), util::MeanCi{std::nan(""), 0.0, 0});
+    return out;
+  }
+  out.windows.reserve(per_window.size());
+  for (const auto& samples : per_window) out.windows.push_back(util::mean_ci_95(samples));
+  return out;
+}
+
 TransientResult run_transient_worst_sender(const SimConfig& cfg, TransientConfig tc) {
   // Flatten the (sender, replica) grid into one index space so a single
   // fan-out keeps all workers busy across sender boundaries.

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -68,5 +69,35 @@ TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc);
 /// Max over senders q != crash of run_transient, the paper's L_crash
 /// definition restricted to a fixed crashed process.
 TransientResult run_transient_worst_sender(const SimConfig& cfg, TransientConfig tc);
+
+/// Windowed scenario runner for faulted workloads (partitions, churn,
+/// storms): runs the workload to a fixed horizon, drains, and reports the
+/// latency of the messages *broadcast* within each window separately —
+/// e.g. before / during / after a partition.  Unlike run_steady there is
+/// no mid-run backlog bailout: a fault is supposed to build a backlog; the
+/// run only counts as unstable when it fails to drain afterwards (some
+/// message was never delivered anywhere) or a window ends up empty.
+struct WindowedConfig {
+  double throughput = 100.0;
+  /// Workload generation stops here (measurement horizon).
+  double t_end = 10000.0;
+  /// [from, to) per window, in broadcast time.
+  std::vector<std::pair<double, double>> windows;
+  /// Extra simulated time allowed for the post-horizon drain.
+  double drain_ms = 20000.0;
+  /// Independent replica runs (seeds seed, seed+1, ...).
+  std::size_t replicas = 5;
+  /// Worker threads fanning the replicas out; bit-identical results for
+  /// any value (see run_steady).
+  std::size_t jobs = 1;
+};
+
+struct WindowedResult {
+  /// One entry per window, aggregated over replica means (95% CI).
+  std::vector<util::MeanCi> windows;
+  bool stable = true;
+};
+
+WindowedResult run_windowed(const SimConfig& cfg, const WindowedConfig& wc);
 
 }  // namespace fdgm::core

@@ -14,6 +14,11 @@ Workload::Workload(net::System& sys, std::vector<abcast::AtomicBroadcastProcess*
   per_process_mean_gap_ms_ = 1.0 / per_process_rate_per_ms;
   sim::Rng base = sys.rng().fork("workload");
   for (std::size_t i = 0; i < procs_.size(); ++i) rngs_.push_back(base.fork(i));
+  chain_alive_.assign(procs_.size(), false);
+  sys.add_recovery_listener([this](net::ProcessId p, sim::Time) {
+    const auto idx = static_cast<std::size_t>(p);
+    if (started_ && !stopped_ && !chain_alive_[idx]) schedule_next(idx);
+  });
 }
 
 void Workload::start() {
@@ -23,17 +28,20 @@ void Workload::start() {
 }
 
 void Workload::schedule_next(std::size_t idx) {
+  chain_alive_[idx] = true;
   const double gap = rngs_[idx].exponential(per_process_mean_gap_ms_);
   sys_->scheduler().schedule_after(gap, [this, idx] {
     if (stopped_) return;
     auto pid = static_cast<net::ProcessId>(idx);
-    if (!sys_->node(pid).crashed()) {
-      const abcast::MsgId id = procs_[idx]->a_broadcast();
-      recorder_->on_broadcast(id, sys_->now());
-      ++generated_;
-      schedule_next(idx);
+    if (sys_->node(pid).crashed()) {
+      // The chain dies with the process; a recovery restarts it.
+      chain_alive_[idx] = false;
+      return;
     }
-    // A crashed process never broadcasts again: stop rescheduling.
+    const abcast::MsgId id = procs_[idx]->a_broadcast();
+    recorder_->on_broadcast(id, sys_->now());
+    ++generated_;
+    schedule_next(idx);
   });
 }
 

@@ -2,7 +2,8 @@
 // constant mean rate; the A-broadcast events of each process form an
 // independent Poisson process; the sum of the per-process rates is the
 // nominal throughput T.  Crashed processes stop broadcasting (which is why
-// the crash-steady scenario sees a lighter effective load).
+// the crash-steady scenario sees a lighter effective load); a process that
+// recovers (fault injection) resumes its arrival stream.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +46,11 @@ class Workload {
   LatencyRecorder* recorder_;
   double per_process_mean_gap_ms_;  // mean inter-arrival per process
   std::vector<sim::Rng> rngs_;
+  /// Whether process i's arrival chain has an event pending.  A chain dies
+  /// when its tick finds the process crashed; the recovery listener
+  /// restarts it exactly once (the flag prevents a doubled arrival rate
+  /// when the process recovered before the next tick).
+  std::vector<bool> chain_alive_;
   bool started_ = false;
   bool stopped_ = false;
   std::uint64_t generated_ = 0;

@@ -1,0 +1,291 @@
+#include "fault/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <system_error>
+
+namespace fdgm::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kDelaySpike:
+      return "delay";
+    case FaultKind::kSuspicionStorm:
+      return "storm";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::string_view event_text) {
+  throw std::invalid_argument("FaultSchedule: " + what + " in \"" + std::string(event_text) +
+                              "\"");
+}
+
+/// Splits an event body into whitespace-separated tokens, keeping a
+/// brace-delimited group list ("{0,1|2}") together as one token even if it
+/// contains spaces.
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    if (text[i] == '{') {
+      while (j < text.size() && text[j] != '}') ++j;
+      if (j == text.size()) fail("unterminated '{'", text);
+      ++j;  // include '}'
+    } else {
+      while (j < text.size() && !std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+    }
+    out.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+double parse_number(const std::string& tok, std::string_view event_text) {
+  double v = 0.0;
+  std::size_t used = 0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::invalid_argument&) {
+    fail("expected a number, got '" + tok + "'", event_text);
+  } catch (const std::out_of_range&) {
+    fail("number out of range: '" + tok + "'", event_text);
+  }
+  // Validate outside the try block so these diagnostics are not swallowed
+  // by the catch clauses above (fail throws std::invalid_argument too).
+  if (used != tok.size()) fail("trailing characters after number '" + tok + "'", event_text);
+  // Non-finite values would corrupt the scheduler (NaN breaks the event
+  // heap's ordering, inf never completes): reject at the source.
+  if (!std::isfinite(v)) fail("non-finite number '" + tok + "'", event_text);
+  return v;
+}
+
+/// "@500" -> 500.0
+sim::Time parse_at(const std::string& tok, std::string_view event_text) {
+  if (tok.empty() || tok[0] != '@') fail("expected '@<time>', got '" + tok + "'", event_text);
+  const double t = parse_number(tok.substr(1), event_text);
+  if (t < 0) fail("negative event time", event_text);
+  return t;
+}
+
+/// "p3" -> 3
+net::ProcessId parse_pid(const std::string& tok, std::string_view event_text) {
+  if (tok.size() < 2 || tok[0] != 'p')
+    fail("expected 'p<id>', got '" + tok + "'", event_text);
+  const double v = parse_number(tok.substr(1), event_text);
+  // Range-check before converting: a float-to-int cast of an
+  // out-of-range value is undefined behavior, not a detectable error.
+  if (!(v >= 0.0 && v < 2147483648.0) || v != std::trunc(v))
+    fail("bad process id '" + tok + "'", event_text);
+  return static_cast<net::ProcessId>(v);
+}
+
+/// "p1,p2" or "1,2" -> {1, 2}
+std::vector<net::ProcessId> parse_pid_list(const std::string& tok,
+                                           std::string_view event_text) {
+  std::vector<net::ProcessId> out;
+  std::size_t start = 0;
+  while (start <= tok.size()) {
+    std::size_t comma = tok.find(',', start);
+    if (comma == std::string::npos) comma = tok.size();
+    std::string item = tok.substr(start, comma - start);
+    if (item.empty()) fail("empty process id in list '" + tok + "'", event_text);
+    if (item[0] != 'p') item = "p" + item;
+    out.push_back(parse_pid(item, event_text));
+    if (comma == tok.size()) break;
+    start = comma + 1;
+  }
+  if (out.empty()) fail("empty process list", event_text);
+  return out;
+}
+
+/// "{0,1|2,3}" -> {{0,1},{2,3}}
+std::vector<std::vector<net::ProcessId>> parse_groups(const std::string& tok,
+                                                      std::string_view event_text) {
+  if (tok.size() < 2 || tok.front() != '{' || tok.back() != '}')
+    fail("expected '{ids|ids|...}', got '" + tok + "'", event_text);
+  std::vector<std::vector<net::ProcessId>> groups;
+  const std::string body = tok.substr(1, tok.size() - 2);
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t bar = body.find('|', start);
+    if (bar == std::string::npos) bar = body.size();
+    groups.push_back(parse_pid_list(body.substr(start, bar - start), event_text));
+    if (bar == body.size()) break;
+    start = bar + 1;
+  }
+  if (groups.size() < 2) fail("a partition needs at least two groups", event_text);
+  // A process in two groups is ambiguous — reject rather than silently
+  // keeping the last listing.
+  std::set<net::ProcessId> seen;
+  for (const auto& g : groups)
+    for (net::ProcessId p : g)
+      if (!seen.insert(p).second)
+        fail("process p" + std::to_string(p) + " listed in more than one group", event_text);
+  return groups;
+}
+
+/// Window suffix shared by loss / delay / storm: "@<t> for <dur>".
+void parse_window(const std::vector<std::string>& toks, std::size_t from, FaultEvent& e,
+                  std::string_view event_text) {
+  if (toks.size() != from + 3 || toks[from + 1] != "for")
+    fail("expected '@<time> for <duration>'", event_text);
+  e.at = parse_at(toks[from], event_text);
+  const double dur = parse_number(toks[from + 2], event_text);
+  if (dur < 0) fail("negative duration", event_text);
+  e.until = e.at + dur;
+}
+
+std::string format_number(double v) {
+  // Shortest representation that round-trips exactly — the header
+  // guarantees parse(to_string()) == *this for every schedule.
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("0");
+}
+
+std::string format_pid_list(const std::vector<net::ProcessId>& ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += ',';
+    out += 'p';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+FaultEvent parse_event(std::string_view event_text) {
+  const std::vector<std::string> toks = tokenize(event_text);
+  if (toks.empty()) fail("empty event", event_text);
+  FaultEvent e;
+  const std::string& verb = toks[0];
+  if (verb == "crash" || verb == "recover") {
+    e.kind = verb == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
+    if (toks.size() != 3) fail("expected '" + verb + " p<id> @<time>'", event_text);
+    e.process = parse_pid(toks[1], event_text);
+    e.at = parse_at(toks[2], event_text);
+    return e;
+  }
+  if (verb == "partition") {
+    e.kind = FaultKind::kPartition;
+    if (toks.size() != 5 || toks[3] != "heal")
+      fail("expected 'partition {ids|ids} @<time> heal @<time>'", event_text);
+    e.groups = parse_groups(toks[1], event_text);
+    e.at = parse_at(toks[2], event_text);
+    e.until = parse_at(toks[4], event_text);
+    if (e.until < e.at) fail("heal time precedes the partition", event_text);
+    return e;
+  }
+  if (verb == "loss") {
+    e.kind = FaultKind::kLoss;
+    if (toks.size() != 5) fail("expected 'loss <rate> @<time> for <duration>'", event_text);
+    e.rate = parse_number(toks[1], event_text);
+    if (e.rate < 0.0 || e.rate > 1.0) fail("loss rate must be in [0, 1]", event_text);
+    parse_window(toks, 2, e, event_text);
+    return e;
+  }
+  if (verb == "delay") {
+    e.kind = FaultKind::kDelaySpike;
+    if (toks.size() != 5 || toks[1].empty() || toks[1][0] != 'x')
+      fail("expected 'delay x<factor> @<time> for <duration>'", event_text);
+    e.factor = parse_number(toks[1].substr(1), event_text);
+    if (e.factor <= 0) fail("delay factor must be positive", event_text);
+    parse_window(toks, 2, e, event_text);
+    return e;
+  }
+  if (verb == "storm") {
+    e.kind = FaultKind::kSuspicionStorm;
+    if (toks.size() != 5) fail("expected 'storm p<id>,... @<time> for <duration>'", event_text);
+    e.accused = parse_pid_list(toks[1], event_text);
+    parse_window(toks, 2, e, event_text);
+    return e;
+  }
+  fail("unknown fault kind '" + verb + "'", event_text);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::parse(std::string_view text) {
+  FaultSchedule s;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string_view::npos) semi = text.size();
+    const std::string_view event_text = text.substr(start, semi - start);
+    const bool blank = event_text.find_first_not_of(" \t\r\n") == std::string_view::npos;
+    if (!blank) s.add(parse_event(event_text));
+    if (semi == text.size()) break;
+    start = semi + 1;
+  }
+  return s;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    if (!out.empty()) out += "; ";
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        out += fault_kind_name(e.kind);
+        out += " p" + std::to_string(e.process) + " @" + format_number(e.at);
+        break;
+      case FaultKind::kPartition: {
+        out += "partition {";
+        for (std::size_t g = 0; g < e.groups.size(); ++g) {
+          if (g) out += '|';
+          for (std::size_t i = 0; i < e.groups[g].size(); ++i) {
+            if (i) out += ',';
+            out += "p" + std::to_string(e.groups[g][i]);
+          }
+        }
+        out += "} @" + format_number(e.at) + " heal @" + format_number(e.until);
+        break;
+      }
+      case FaultKind::kLoss:
+        out += "loss " + format_number(e.rate) + " @" + format_number(e.at) + " for " +
+               format_number(e.until - e.at);
+        break;
+      case FaultKind::kDelaySpike:
+        out += "delay x" + format_number(e.factor) + " @" + format_number(e.at) + " for " +
+               format_number(e.until - e.at);
+        break;
+      case FaultKind::kSuspicionStorm:
+        out += "storm " + format_pid_list(e.accused) + " @" + format_number(e.at) + " for " +
+               format_number(e.until - e.at);
+        break;
+    }
+  }
+  return out;
+}
+
+void FaultSchedule::add(FaultEvent e) {
+  auto it = std::upper_bound(events_.begin(), events_.end(), e.at,
+                             [](sim::Time t, const FaultEvent& ev) { return t < ev.at; });
+  events_.insert(it, std::move(e));
+}
+
+void FaultSchedule::merge(const FaultSchedule& other) {
+  for (const FaultEvent& e : other.events_) add(e);
+}
+
+}  // namespace fdgm::fault

@@ -1,0 +1,94 @@
+// Declarative fault schedules: a time-ordered list of typed fault events
+// (crash, recovery, partition, message loss, delay spike, suspicion storm)
+// that an Injector arms on the discrete-event scheduler.
+//
+// Schedules are plain data: they can be built programmatically by a bench
+// scenario or parsed from the compact text grammar used by the fdgm_bench
+// `--faults` flag:
+//
+//   crash p0 @500                 crash process 0 at t = 500 ms
+//   recover p0 @1500              restart process 0 (GM: rejoin via JOIN)
+//   partition {0,1|2} @1000 heal @3000
+//                                 split the system into groups {0,1} and
+//                                 {2}; processes not listed form one extra
+//                                 implicit group; cross-group messages are
+//                                 held and delivered at the heal time
+//   loss 0.2 @1000 for 2000       drop 20% of point-to-point deliveries
+//                                 in [1000, 3000)
+//   delay x4 @1000 for 2000       multiply the network service time by 4
+//                                 in [1000, 3000)
+//   storm p1,p2 @1000 for 50      every alive process wrongly suspects
+//                                 p1 and p2 in [1000, 1050)
+//
+// Events are separated by ';'.  `to_string()` emits the canonical form of
+// the same grammar, so schedules round-trip through parse().
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace fdgm::fault {
+
+enum class FaultKind {
+  kCrash,           // crash `process` at `at`
+  kRecover,         // restart `process` at `at` (rejoin via the GM join path)
+  kPartition,       // split into `groups` at `at`, heal at `until`
+  kLoss,            // drop each delivery with probability `rate` in [at, until)
+  kDelaySpike,      // multiply the network service time by `factor` in [at, until)
+  kSuspicionStorm,  // force every alive monitor to suspect `accused` in [at, until)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  sim::Time at = 0.0;
+  /// End of the event's window: heal time (partition) or end of the loss /
+  /// delay / storm window.  Unused for crash and recover.
+  sim::Time until = 0.0;
+  /// Target of a crash / recover.
+  net::ProcessId process = -1;
+  /// Partition groups; processes of the system not listed in any group
+  /// form one extra implicit group.
+  std::vector<std::vector<net::ProcessId>> groups;
+  /// Per-delivery drop probability in [0, 1] (loss).
+  double rate = 0.0;
+  /// Network service-time multiplier (delay spike), > 0.
+  double factor = 1.0;
+  /// Processes wrongly suspected by every alive monitor (storm).
+  std::vector<net::ProcessId> accused;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultSchedule {
+ public:
+  /// Parses the textual grammar documented above.  Throws
+  /// std::invalid_argument with a descriptive message on malformed input.
+  [[nodiscard]] static FaultSchedule parse(std::string_view text);
+
+  /// Canonical textual form; parse(to_string()) == *this.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Insert an event, keeping the list ordered by start time (stable for
+  /// equal times: later insertions go after earlier ones).
+  void add(FaultEvent e);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Append every event of `other` (each re-sorted into time order).
+  void merge(const FaultSchedule& other);
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace fdgm::fault

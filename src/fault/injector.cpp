@@ -1,0 +1,96 @@
+#include "fault/injector.hpp"
+
+namespace fdgm::fault {
+
+Injector::Injector(net::System& sys, fd::QosFailureDetectorModel* fd_model,
+                   FaultSchedule schedule, RestartHook on_restart)
+    : sys_(&sys),
+      fd_model_(fd_model),
+      schedule_(std::move(schedule)),
+      restart_hook_(std::move(on_restart)),
+      rng_(sys.rng().fork("fault-injector")) {}
+
+void Injector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& e : schedule_.events())
+    sys_->scheduler().schedule_at(e.at, [this, &e] { fire(e); });
+}
+
+void Injector::fire(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      if (!valid_pid(e.process)) {
+        ++skipped_;
+        return;
+      }
+      sys_->crash(e.process);
+      break;
+
+    case FaultKind::kRecover: {
+      if (!valid_pid(e.process)) {
+        ++skipped_;
+        return;
+      }
+      // Recovering an alive process is a no-op, but the event still counts
+      // as fired — fired() + skipped() must account for every event.
+      if (sys_->node(e.process).crashed()) {
+        sys_->restart(e.process);
+        if (restart_hook_) restart_hook_(e.process);
+      }
+      break;
+    }
+
+    case FaultKind::kPartition: {
+      for (const auto& group : e.groups)
+        for (net::ProcessId p : group)
+          if (!valid_pid(p)) {
+            ++skipped_;
+            return;
+          }
+      sys_->network().set_partition(e.groups);
+      const std::uint64_t gen = ++partition_gen_;
+      sys_->scheduler().schedule_at(e.until, [this, gen] {
+        if (gen == partition_gen_) sys_->network().heal_partition();
+      });
+      break;
+    }
+
+    case FaultKind::kLoss: {
+      sys_->network().set_loss(e.rate, &rng_);
+      const std::uint64_t gen = ++loss_gen_;
+      sys_->scheduler().schedule_at(e.until, [this, gen] {
+        if (gen == loss_gen_) sys_->network().clear_loss();
+      });
+      break;
+    }
+
+    case FaultKind::kDelaySpike: {
+      sys_->network().set_delay_factor(e.factor);
+      const std::uint64_t gen = ++delay_gen_;
+      sys_->scheduler().schedule_at(e.until, [this, gen] {
+        if (gen == delay_gen_) sys_->network().set_delay_factor(1.0);
+      });
+      break;
+    }
+
+    case FaultKind::kSuspicionStorm: {
+      for (net::ProcessId p : e.accused)
+        if (!valid_pid(p)) {
+          ++skipped_;
+          return;
+        }
+      if (fd_model_ == nullptr) {
+        ++skipped_;
+        return;
+      }
+      for (net::ProcessId p : e.accused)
+        for (net::ProcessId q : sys_->all())
+          if (q != p && !sys_->node(q).crashed()) fd_model_->inject_suspicion(q, p, e.until);
+      break;
+    }
+  }
+  ++fired_;
+}
+
+}  // namespace fdgm::fault

@@ -1,0 +1,78 @@
+// Arms a FaultSchedule on a System's discrete-event scheduler and drives
+// the existing fault hooks:
+//
+//   Crash          -> net::System::crash
+//   Recover        -> net::System::restart + the per-process restart hook
+//                     (SimRun wires it to AtomicBroadcastProcess::on_restart,
+//                     i.e. the GM rejoin / FD log-sync catch-up paths)
+//   Partition      -> net::Network::set_partition / heal_partition
+//   MessageLoss    -> net::Network::set_loss, drawing from the injector's
+//                     private RNG sub-stream (forked from the system master
+//                     seed, so a schedule never perturbs the workload or
+//                     failure-detector streams and replicas stay
+//                     bit-identical for any --jobs value)
+//   DelaySpike     -> net::Network::set_delay_factor
+//   SuspicionStorm -> fd::QosFailureDetectorModel::inject_suspicion for
+//                     every alive (monitor, accused) pair
+//
+// Events that reference a process id outside 0..n-1 are skipped (and
+// counted), so one schedule can be applied across sweeps with varying n —
+// the fdgm_bench --faults flag relies on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/fault_schedule.hpp"
+#include "fd/qos_model.hpp"
+#include "net/system.hpp"
+#include "sim/rng.hpp"
+
+namespace fdgm::fault {
+
+class Injector {
+ public:
+  /// Invoked right after a Recover event restarted a crashed process.
+  using RestartHook = std::function<void(net::ProcessId)>;
+
+  /// `fd_model` may be null (network-only simulations): storms are then
+  /// skipped.  The hook may be empty: recovery then restarts the node
+  /// without protocol-level catch-up.
+  Injector(net::System& sys, fd::QosFailureDetectorModel* fd_model, FaultSchedule schedule,
+           RestartHook on_restart = {});
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Schedule every event.  Call once, before running the simulation.
+  void arm();
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Events fired / skipped (bad process id) so far, for tests.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  void fire(const FaultEvent& e);
+  [[nodiscard]] bool valid_pid(net::ProcessId p) const {
+    return p >= 0 && p < sys_->n();
+  }
+
+  net::System* sys_;
+  fd::QosFailureDetectorModel* fd_model_;
+  FaultSchedule schedule_;
+  RestartHook restart_hook_;
+  sim::Rng rng_;
+  bool armed_ = false;
+  std::uint64_t fired_ = 0;
+  std::uint64_t skipped_ = 0;
+  /// Generation counters: the end-of-window action of a partition / loss /
+  /// delay event only applies when no later event of the same kind
+  /// replaced the setting (last writer wins).
+  std::uint64_t partition_gen_ = 0;
+  std::uint64_t loss_gen_ = 0;
+  std::uint64_t delay_gen_ = 0;
+};
+
+}  // namespace fdgm::fault

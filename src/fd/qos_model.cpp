@@ -27,6 +27,7 @@ QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams par
           false});
 
   sys.add_crash_listener([this](net::ProcessId p, sim::Time t) { on_crash(p, t); });
+  sys.add_recovery_listener([this](net::ProcessId p, sim::Time t) { on_recover(p, t); });
 }
 
 QosFailureDetectorModel::PairState& QosFailureDetectorModel::pair(net::ProcessId q,
@@ -39,10 +40,50 @@ void QosFailureDetectorModel::on_crash(net::ProcessId p, sim::Time when) {
   for (net::ProcessId q : sys_->all()) {
     if (q == p) continue;
     sys_->scheduler().schedule_at(when + params_.detection_time, [this, q, p] {
-      pair(q, p).crashed_permanent = true;
+      PairState& st = pair(q, p);
+      // Monitors observe p's state with lag TD: the heartbeat gap of the
+      // crash is seen even when p restarted in the meantime.  A still-dead
+      // p is suspected permanently; a restarted p is suspected until its
+      // recovery is detected (on_recover schedules the trust edge at
+      // restart + TD, which is strictly later than this event).
+      if (sys_->node(p).crashed()) st.crashed_permanent = true;
       if (sys_->node(q).crashed()) return;  // a dead monitor notifies nobody
       at(q).set_suspected(p, true);
     });
+  }
+}
+
+void QosFailureDetectorModel::on_recover(net::ProcessId p, sim::Time when) {
+  // Every monitor detects the recovery with the same delay TD as a crash.
+  const std::uint64_t incarnation = sys_->node(p).incarnation();
+  for (net::ProcessId q : sys_->all()) {
+    if (q == p) continue;
+    // The crash's heartbeat-gap suspicion (see on_crash) lasts until the
+    // recovery is detected; stretch the pair's window so that a mistake
+    // release scheduled earlier cannot end it prematurely.
+    PairState& st = pair(q, p);
+    if (st.suspect_until < when + params_.detection_time)
+      st.suspect_until = when + params_.detection_time;
+    sys_->scheduler().schedule_at(when + params_.detection_time, [this, q, p, incarnation] {
+      // Re-crashed (or restarted again) in the meantime: this detection is
+      // void; the newer crash/recovery drives the pair's state.
+      if (sys_->node(p).crashed() || sys_->node(p).incarnation() != incarnation) return;
+      PairState& st = pair(q, p);
+      st.crashed_permanent = false;
+      st.suspect_until = sys_->now();
+      if (!sys_->node(q).crashed()) at(q).set_suspected(p, false);
+      restart_renewal(q, p, sys_->now());
+    });
+  }
+  // The recovered process's own modules resync immediately: it keeps
+  // suspecting processes whose crash it had detected, drops everything
+  // else, and its renewal processes start afresh.
+  for (net::ProcessId r : sys_->all()) {
+    if (r == p) continue;
+    PairState& st = pair(p, r);
+    st.suspect_until = when;
+    at(p).set_suspected(r, st.crashed_permanent);
+    if (!st.crashed_permanent && !sys_->node(r).crashed()) restart_renewal(p, r, when);
   }
 }
 
@@ -55,30 +96,54 @@ void QosFailureDetectorModel::start() {
       if (q != p) schedule_next_mistake(q, p, sys_->now());
 }
 
+void QosFailureDetectorModel::restart_renewal(net::ProcessId q, net::ProcessId p,
+                                              sim::Time from) {
+  ++pair(q, p).epoch;  // kill any renewal chain still pending for the pair
+  if (started_ && params_.wrong_suspicions) schedule_next_mistake(q, p, from);
+}
+
+void QosFailureDetectorModel::inject_suspicion(net::ProcessId q, net::ProcessId p,
+                                               sim::Time until) {
+  if (q == p) return;
+  PairState& st = pair(q, p);
+  if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
+  at(q).set_suspected(p, true);
+  if (st.suspect_until < until) st.suspect_until = until;
+  schedule_release(q, p, until);
+}
+
+void QosFailureDetectorModel::schedule_release(net::ProcessId q, net::ProcessId p,
+                                               sim::Time until) {
+  // End of a mistake / storm window.  Overlapping windows keep the pair
+  // suspected: the trust event only fires when no later window extended
+  // the suspicion.
+  sys_->scheduler().schedule_at(until, [this, q, p, until] {
+    PairState& st = pair(q, p);
+    if (st.crashed_permanent) return;
+    if (until < st.suspect_until) return;  // a later window extended it
+    at(q).set_suspected(p, false);
+  });
+}
+
 void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::ProcessId p,
                                                     sim::Time from) {
   const double gap = pair(q, p).rng.exponential(params_.mistake_recurrence);
-  sys_->scheduler().schedule_at(from + gap, [this, q, p] {
+  const std::uint64_t epoch = pair(q, p).epoch;
+  sys_->scheduler().schedule_at(from + gap, [this, q, p, epoch] {
     PairState& st = pair(q, p);
-    // A permanently suspected (crashed) target ends the renewal process;
-    // so does the crash of the monitoring process itself.
+    // A stale chain (the pair was reset by a crash or recovery) dies; so
+    // does the chain of a permanently suspected (crashed) target or of a
+    // crashed monitor — restart_renewal revives it on recovery.
+    if (st.epoch != epoch) return;
     if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
 
     const sim::Time start = sys_->now();
     const double duration = st.rng.exponential(params_.mistake_duration);
     at(q).set_suspected(p, true);
 
-    // End of this mistake.  Overlapping mistakes (next start before this
-    // end) keep the pair suspected: the trust event only fires when no
-    // later mistake extended the suspicion window.
     const sim::Time until = start + duration;
     if (st.suspect_until < until) st.suspect_until = until;
-    sys_->scheduler().schedule_at(until, [this, q, p, until] {
-      PairState& s2 = pair(q, p);
-      if (s2.crashed_permanent) return;
-      if (until < s2.suspect_until) return;  // a later mistake extended it
-      at(q).set_suspected(p, false);
-    });
+    schedule_release(q, p, until);
 
     schedule_next_mistake(q, p, start);
   });

@@ -1,12 +1,21 @@
 // Drives all failure-detector modules from the QoS parameters (paper §6.2):
 //
-//  * crash of p at time t  →  every q suspects p permanently at t + TD;
+//  * crash of p at time t  →  every q suspects p permanently at t + TD
+//    (unless p restarted before the detection fired);
+//  * restart of p at time t →  every q trusts p again at t + TD (recovery
+//    is detected with the same delay as a crash) and the wrong-suspicion
+//    renewal process of the pair resumes;
 //  * wrong suspicions of a correct p at q follow a renewal process: mistake
 //    starts are spaced Exp(TMR) apart, each mistake lasts Exp(TM).
 //
 // Each ordered pair (q monitors p) owns an independent RNG sub-stream, so
 // modules are independent and identically distributed, and the schedule of
 // pair (q,p) is invariant to what other pairs do.
+//
+// The fault injector can additionally *force* suspicions (correlated
+// suspicion storms) through inject_suspicion(); forced suspicions share
+// the mistake-release bookkeeping, so overlapping storms and renewal
+// mistakes extend each other instead of releasing early.
 #pragma once
 
 #include <memory>
@@ -37,15 +46,29 @@ class QosFailureDetectorModel {
   /// params.wrong_suspicions).  Call once, before running the simulation.
   void start();
 
+  /// Force q to suspect p until `until` (fault injection: suspicion
+  /// storms).  No-op when either process is crashed or p's crash has been
+  /// detected; the suspicion releases at `until` unless a renewal mistake
+  /// or a later storm extended the window.
+  void inject_suspicion(net::ProcessId q, net::ProcessId p, sim::Time until);
+
  private:
   struct PairState {
     sim::Rng rng;
-    bool crashed_permanent = false;   // p crashed; suspicion is final
-    sim::Time suspect_until = 0.0;    // end of the latest mistake window
+    bool crashed_permanent = false;  // p crashed; suspicion is final
+    sim::Time suspect_until = 0.0;   // end of the latest mistake window
+    /// Generation of the renewal chain: a pending next-mistake callback
+    /// whose epoch is stale (the pair was reset by a crash/recovery)
+    /// dies silently, so restarts never double the mistake rate.
+    std::uint64_t epoch = 0;
   };
 
   void on_crash(net::ProcessId p, sim::Time when);
+  void on_recover(net::ProcessId p, sim::Time when);
   void schedule_next_mistake(net::ProcessId q, net::ProcessId p, sim::Time from);
+  void schedule_release(net::ProcessId q, net::ProcessId p, sim::Time until);
+  /// (Re)start the renewal chain of (q, p) from `from`.
+  void restart_renewal(net::ProcessId q, net::ProcessId p, sim::Time from);
   PairState& pair(net::ProcessId q, net::ProcessId p);
 
   net::System* sys_;

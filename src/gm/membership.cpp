@@ -44,8 +44,13 @@ class GroupMembership::UnstableMsgPayload final : public net::Payload {
 
 class GroupMembership::JoinPayload final : public net::Payload {
  public:
-  explicit JoinPayload(std::uint64_t log_len) : log_len(log_len) {}
+  JoinPayload(std::uint64_t log_len, std::uint64_t view_hint)
+      : log_len(log_len), view_hint(view_hint) {}
   std::uint64_t log_len;
+  /// Most recent view id the joiner knows of; lets a member distinguish a
+  /// stale retry (hint older than its installed view — the joiner has
+  /// been readmitted since) from fresh restart evidence.
+  std::uint64_t view_hint;
 };
 
 class GroupMembership::StatePayload final : public net::Payload {
@@ -183,7 +188,8 @@ void GroupMembership::maybe_start_consensus() {
   bool waiting = false;
   for (net::ProcessId q : view_.members) {
     const bool have = unstable_received_.contains(q);
-    const bool excluded = vc_suspected_.contains(q) && q != self_;
+    const bool excluded =
+        (vc_suspected_.contains(q) || restart_pending_.contains(q)) && q != self_;
     if (!have && !excluded) waiting = true;
     if (have && !excluded) p_set.push_back(q);
   }
@@ -280,6 +286,15 @@ void GroupMembership::process_decision(const MembershipProposal& d) {
   consensus_started_ = false;
   for (auto it = joiners_.begin(); it != joiners_.end();)
     it = nv.contains(it->p) ? joiners_.erase(it) : std::next(it);
+  // A restart announcement is settled once the decision no longer carries
+  // the stale incarnation as a survivor (excluded, and usually readmitted
+  // fresh through J); one that overtook a running consensus stays pending
+  // and triggers the next view change after installation.
+  for (auto it = restart_pending_.begin(); it != restart_pending_.end();) {
+    const bool survivor =
+        std::find(d.members.begin(), d.members.end(), *it) != d.members.end();
+    it = survivor ? std::next(it) : restart_pending_.erase(it);
+  }
 
   if (nv.contains(self_)) {
     install_view(nv);
@@ -322,7 +337,7 @@ void GroupMembership::check_pending_suspicions() {
   for (const Joiner& j : joiners_)
     if (!view_.contains(j.p)) trigger = true;
   for (net::ProcessId p : view_.members)
-    if (p != self_ && fd_->suspects(p)) trigger = true;
+    if (p != self_ && (fd_->suspects(p) || restart_pending_.contains(p))) trigger = true;
   if (trigger) start_view_change(/*initiator=*/true);
 }
 
@@ -347,9 +362,29 @@ void GroupMembership::become_excluded(const View& new_view) {
   send_join();
 }
 
+void GroupMembership::rejoin() {
+  // Crash-recovery: every view-change negotiation this incarnation may
+  // have been part of is void; fall back to the joiner protocol.  JOINs go
+  // to every process — we cannot know the current membership — and only
+  // actual members act on them.
+  const bool chain_armed = status_ == Status::kJoining;
+  status_ = Status::kJoining;
+  consensus_started_ = false;
+  unstable_received_.clear();
+  joiners_.clear();
+  restart_pending_.clear();
+  vc_suspected_.clear();
+  future_.clear();
+  join_view_hint_ = view_.id;
+  join_targets_.clear();
+  for (net::ProcessId p : sys_->all())
+    if (p != self_) join_targets_.push_back(p);
+  if (!chain_armed) send_join();  // else the periodic JOIN retry is already running
+}
+
 void GroupMembership::send_join() {
   if (status_ != Status::kJoining) return;
-  auto payload = std::make_shared<JoinPayload>(client_->log_length());
+  auto payload = std::make_shared<JoinPayload>(client_->log_length(), join_view_hint_);
   sys_->node(self_).multicast(join_targets_, net::ProtocolId::kMembership, payload);
   sys_->scheduler().schedule_after(cfg_.join_retry, [this] { send_join(); });
 }
@@ -381,7 +416,35 @@ void GroupMembership::on_message(const net::Message& m) {
   }
   if (auto j = net::payload_cast<JoinPayload>(m)) {
     if (status_ == Status::kExcluded || status_ == Status::kJoining) return;
-    if (view_.contains(m.src)) return;  // stale retry: already readmitted
+    // Never admit a process the local failure detector still suspects: a
+    // recovered process is readmitted only once its recovery is detected
+    // (it keeps retrying JOIN until then).  Without this guard, admission
+    // and the lingering suspicion race into an exclusion/readmission loop.
+    if (fd_->suspects(m.src)) return;
+    if (view_.contains(m.src)) {
+      // A retry the joiner sent just before we installed the view that
+      // readmitted it: its hint predates our view, so this is no restart.
+      if (j->view_hint < view_.id) return;
+      // A JOIN from a current member means it crashed and restarted: the
+      // incarnation that held our state is gone.  Exclude the stale
+      // incarnation and readmit the new one (with a state transfer) at
+      // the next view change.  (A restart whose hint lags our view can
+      // only be dropped here while the crash itself goes undetected; the
+      // heartbeat-gap suspicion at crash + TD excludes it regardless.)
+      joiners_.insert(Joiner{m.src, j->log_len});
+      if (restart_pending_.insert(m.src).second) {
+        if (status_ == Status::kMember)
+          start_view_change(/*initiator=*/true);
+        else if (status_ == Status::kViewChange)
+          maybe_start_consensus();  // stop waiting for the dead incarnation
+        // Liveness of the view change does not depend on this JOIN: the
+        // monitors observed the crash's heartbeat gap and will suspect
+        // the restarted process from crash + TD until recovery + TD (see
+        // QosFailureDetectorModel::on_crash), letting the view-change
+        // consensus rotate past it while it is joining and silent.
+      }
+      return;
+    }
     joiners_.insert(Joiner{m.src, j->log_len});
     if (status_ == Status::kMember)
       start_view_change(/*initiator=*/true);

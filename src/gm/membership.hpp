@@ -116,6 +116,15 @@ class GroupMembership final : public net::Layer, public fd::SuspicionListener {
   /// Number of view changes this process has gone through (tests).
   [[nodiscard]] std::uint64_t views_installed() const { return views_installed_; }
 
+  /// Crash-recovery entry point: forget any in-progress view change and
+  /// rejoin the group through the JOIN/state-transfer path, exactly like a
+  /// wrongly excluded process.  The caller (the data plane's on_restart)
+  /// must have discarded its volatile protocol state first.  Members that
+  /// receive a JOIN from a process still in their view treat it as
+  /// evidence of a restart: the next view change excludes and immediately
+  /// readmits it with a state transfer.
+  void rejoin();
+
   /// Debug/tests: who we hold unstable reports from, and whether the view
   /// change consensus was started.
   [[nodiscard]] std::vector<net::ProcessId> debug_unstable_from() const {
@@ -186,6 +195,11 @@ class GroupMembership final : public net::Layer, public fd::SuspicionListener {
   /// even if the failure detector trusts it again (the paper's point
   /// mistakes, TM = 0, must still cause exclusions — Fig. 6).
   std::set<net::ProcessId> vc_suspected_;
+  /// Members that announced a restart (JOIN received while still in the
+  /// view): excluded from our proposals like suspects — their pre-crash
+  /// incarnation is gone and must not be waited for — and readmitted as
+  /// joiners with a state transfer.
+  std::set<net::ProcessId> restart_pending_;
   bool refresh_scheduled_ = false;
 
   // Joiner state.

@@ -41,22 +41,90 @@ void Network::submit(const Message& m, const std::vector<ProcessId>& dsts) {
     }
     if (!remote.empty()) {
       // Stage 2: one slot on the shared medium regardless of fan-out.
-      wire_.enqueue(cfg_.network_time, [this, m, remote] { on_wire_done(m, remote); });
+      wire_.enqueue(cfg_.network_time * delay_factor_,
+                    [this, m, remote] { on_wire_done(m, remote); });
     }
   });
 }
 
 void Network::on_wire_done(const Message& m, const std::vector<ProcessId>& remote) {
-  // Stage 3: receive-side CPU processing, one job per destination host.
-  for (ProcessId d : remote) {
-    cpus_[static_cast<std::size_t>(d)]->enqueue(cfg_.lambda, [this, m, d] {
-      Message copy = m;
-      copy.dst = d;
-      ++delivered_;
-      if (tap_) tap_(copy, d);
-      deliver_(copy, d);
-    });
+  // Fault filter, then stage 3: receive-side CPU processing, one job per
+  // destination host.
+  for (ProcessId d : remote) filter_or_deliver(m, d);
+}
+
+/// The fault-filter stage proper: hold across a partition, drop with the
+/// loss probability, else enqueue the receive-side CPU job.  Also applied
+/// to messages re-injected by a heal, so a heal inside a loss window does
+/// not bypass the loss model.
+void Network::filter_or_deliver(const Message& m, ProcessId d) {
+  if (partitioned(m.src, d)) {
+    held_.emplace_back(m, d);
+    ++held_total_;
+    return;
   }
+  if (loss_rate_ > 0.0 && loss_rng_ != nullptr && loss_rng_->uniform() < loss_rate_) {
+    ++lost_;
+    return;
+  }
+  deliver_via_cpu(m, d);
+}
+
+void Network::deliver_via_cpu(const Message& m, ProcessId d) {
+  cpus_[static_cast<std::size_t>(d)]->enqueue(cfg_.lambda, [this, m, d] {
+    Message copy = m;
+    copy.dst = d;
+    ++delivered_;
+    if (tap_) tap_(copy, d);
+    deliver_(copy, d);
+  });
+}
+
+void Network::set_partition(const std::vector<std::vector<ProcessId>>& groups) {
+  // Build and validate the new matrix before touching any state: a bad id
+  // must not leave a half-applied partition or drop held messages.
+  std::vector<int> new_groups(cpus_.size(), -1);
+  int g = 0;
+  for (; g < static_cast<int>(groups.size()); ++g) {
+    for (ProcessId p : groups[static_cast<std::size_t>(g)]) {
+      if (p < 0 || p >= num_processes())
+        throw std::out_of_range("Network::set_partition: bad process id");
+      new_groups[static_cast<std::size_t>(p)] = g;
+    }
+  }
+  // Unlisted processes form one extra implicit group.
+  for (int& grp : new_groups)
+    if (grp < 0) grp = g;
+  group_of_ = std::move(new_groups);
+  // A replaced partition releases messages held across boundaries that no
+  // longer exist; flushing through the new matrix keeps this simple and
+  // deterministic (re-held if still unreachable).
+  std::vector<std::pair<Message, ProcessId>> pending;
+  pending.swap(held_);
+  for (auto& [m, d] : pending) filter_or_deliver(m, d);
+}
+
+void Network::heal_partition() {
+  group_of_.clear();
+  std::vector<std::pair<Message, ProcessId>> pending;
+  pending.swap(held_);
+  for (auto& [m, d] : pending) filter_or_deliver(m, d);
+}
+
+bool Network::partitioned(ProcessId a, ProcessId b) const {
+  if (group_of_.empty()) return false;
+  return group_of_.at(static_cast<std::size_t>(a)) != group_of_.at(static_cast<std::size_t>(b));
+}
+
+void Network::set_loss(double rate, sim::Rng* rng) {
+  if (rate < 0.0 || rate > 1.0) throw std::invalid_argument("Network::set_loss: bad rate");
+  loss_rate_ = rate;
+  loss_rng_ = rate > 0.0 ? rng : nullptr;
+}
+
+void Network::set_delay_factor(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("Network::set_delay_factor: factor must be > 0");
+  delay_factor_ = factor;
 }
 
 }  // namespace fdgm::net

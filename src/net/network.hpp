@@ -12,6 +12,21 @@
 // Crash semantics (software crash): jobs already accepted by a CPU or
 // queued behind it complete normally; the Node stops submitting new sends
 // and stops receiving deliveries (see Node::crash).
+//
+// Fault filter stage (driven by fault::Injector): before the receive-side
+// CPU job of a destination is enqueued, the message passes a filter:
+//   * partition — a reachability matrix over process groups.  Messages
+//     crossing group boundaries are *held* (the channel stays
+//     quasi-reliable, as the protocol stacks assume: a real transport
+//     retransmits across an outage) and re-injected, in arrival order,
+//     when the partition heals;
+//   * loss — each remaining delivery is dropped independently with a
+//     configurable probability (the "partial multicast loss" model
+//     variant; protocols tolerate it only via their repair paths);
+//   * delay spike — the shared medium's service time is multiplied by a
+//     factor while the spike is active.
+// Self-destined loopback copies bypass the filter (a process can always
+// reach itself).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +36,7 @@
 
 #include "net/message.hpp"
 #include "net/resource.hpp"
+#include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
 namespace fdgm::net {
@@ -62,8 +78,37 @@ class Network {
     tap_ = std::move(tap);
   }
 
+  // --- fault filter stage (driven by fault::Injector) ---
+
+  /// Split the system into the given groups.  Processes not listed in any
+  /// group form one extra implicit group.  Replaces any earlier partition.
+  void set_partition(const std::vector<std::vector<ProcessId>>& groups);
+
+  /// Remove the partition and re-inject every held cross-partition message
+  /// (receive-side CPU jobs enqueued now, in original arrival order).
+  void heal_partition();
+
+  /// Are a and b currently on different sides of a partition?
+  [[nodiscard]] bool partitioned(ProcessId a, ProcessId b) const;
+
+  /// Drop each remote delivery with probability `rate`, drawing from `rng`
+  /// (owned by the caller, typically the Injector's private sub-stream).
+  void set_loss(double rate, sim::Rng* rng);
+  void clear_loss() { loss_rate_ = 0.0; loss_rng_ = nullptr; }
+
+  /// Multiply the shared medium's service time by `factor` (1 = normal).
+  void set_delay_factor(double factor);
+  [[nodiscard]] double delay_factor() const { return delay_factor_; }
+
+  /// Deliveries dropped by the loss filter / held back by a partition so
+  /// far (held messages count even after being re-injected by a heal).
+  [[nodiscard]] std::uint64_t lost_deliveries() const { return lost_; }
+  [[nodiscard]] std::uint64_t held_deliveries() const { return held_total_; }
+
  private:
   void on_wire_done(const Message& m, const std::vector<ProcessId>& remote);
+  void filter_or_deliver(const Message& m, ProcessId d);
+  void deliver_via_cpu(const Message& m, ProcessId d);
 
   sim::Scheduler* sched_;
   NetworkConfig cfg_;
@@ -72,6 +117,16 @@ class Network {
   DeliverFn deliver_;
   std::function<void(const Message&, ProcessId)> tap_;
   std::uint64_t delivered_ = 0;
+
+  /// Partition group of each process; empty when no partition is active.
+  std::vector<int> group_of_;
+  /// Cross-partition messages awaiting the heal, in arrival order.
+  std::vector<std::pair<Message, ProcessId>> held_;
+  double loss_rate_ = 0.0;
+  sim::Rng* loss_rng_ = nullptr;
+  double delay_factor_ = 1.0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t held_total_ = 0;
 };
 
 }  // namespace fdgm::net

@@ -36,6 +36,13 @@ void Node::crash() {
   crash_time_ = sys_->now();
 }
 
+void Node::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  crash_time_ = -1.0;
+  ++incarnation_;
+}
+
 void Node::deliver(const Message& m) {
   if (crashed_) return;  // the host CPU processed it, the dead process never sees it
   ++received_;

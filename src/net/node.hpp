@@ -53,6 +53,15 @@ class Node {
   /// from now on.  In-flight CPU/network jobs complete normally.
   void crash();
 
+  /// Restart after a crash: the process resumes sending and receiving.
+  /// Protocol-level catch-up (GM rejoin, FD log sync) is the stacks'
+  /// business — see AtomicBroadcastProcess::on_restart.
+  void restart();
+
+  /// Bumped on every restart; lets delayed callbacks detect that the
+  /// process they targeted crashed (or re-crashed) in the meantime.
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+
   /// Entry point used by the Network after receive-side CPU processing.
   void deliver(const Message& m);
 
@@ -66,6 +75,7 @@ class Node {
   std::array<Layer*, kProtocolCount> handlers_{};
   bool crashed_ = false;
   sim::Time crash_time_ = -1.0;
+  std::uint64_t incarnation_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
 };

@@ -36,4 +36,15 @@ void System::crash_at(ProcessId p, sim::Time t) {
   sched_.schedule_at(t, [this, p] { crash(p); });
 }
 
+void System::restart(ProcessId p) {
+  Node& nd = node(p);
+  if (!nd.crashed()) return;
+  nd.restart();
+  for (auto& fn : recovery_listeners_) fn(p, sched_.now());
+}
+
+void System::restart_at(ProcessId p, sim::Time t) {
+  sched_.schedule_at(t, [this, p] { restart(p); });
+}
+
 }  // namespace fdgm::net

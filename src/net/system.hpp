@@ -49,9 +49,23 @@ class System {
   /// Schedule a crash of p at absolute time t.
   void crash_at(ProcessId p, sim::Time t);
 
+  /// Restart a crashed process now (no-op when p is alive).  Notifies
+  /// recovery listeners; the protocol stacks' catch-up is triggered
+  /// separately (fault::Injector calls AtomicBroadcastProcess::on_restart).
+  void restart(ProcessId p);
+
+  /// Schedule a restart of p at absolute time t.
+  void restart_at(ProcessId p, sim::Time t);
+
   /// Listener invoked with (process, crash time) whenever a crash occurs.
   void add_crash_listener(std::function<void(ProcessId, sim::Time)> fn) {
     crash_listeners_.push_back(std::move(fn));
+  }
+
+  /// Listener invoked with (process, restart time) whenever a crashed
+  /// process restarts.
+  void add_recovery_listener(std::function<void(ProcessId, sim::Time)> fn) {
+    recovery_listeners_.push_back(std::move(fn));
   }
 
  private:
@@ -61,6 +75,7 @@ class System {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<ProcessId> all_;
   std::vector<std::function<void(ProcessId, sim::Time)>> crash_listeners_;
+  std::vector<std::function<void(ProcessId, sim::Time)>> recovery_listeners_;
 };
 
 }  // namespace fdgm::net

@@ -70,6 +70,31 @@ TEST(ParallelMap, ResultsInIndexOrder) {
   }
 }
 
+TEST(SharedPool, ReusedAcrossSequentialFanOutsCoversEveryIndex) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(123);
+    parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(pool.workers(), 4u);
+}
+
+TEST(SharedPool, MapMatchesSequentialAndPropagatesExceptions) {
+  ThreadPool pool(3);
+  const auto out = parallel_map(pool, 64, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+  EXPECT_THROW(parallel_for(pool, 16,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool survives a throwing fan-out and keeps serving.
+  const auto again = parallel_map(pool, 8, [](std::size_t i) { return i; });
+  for (std::size_t i = 0; i < again.size(); ++i) EXPECT_EQ(again[i], i);
+}
+
 SteadyConfig small_steady(std::size_t jobs) {
   SteadyConfig sc;
   sc.throughput = 100.0;
