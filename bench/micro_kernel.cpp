@@ -1,44 +1,162 @@
-// Microbenchmarks of the simulation substrate: event-queue throughput,
-// network-hop cost and end-to-end consensus/abcast instance cost.  These
-// bound how much simulated time the figure benches can afford.
+// Microbenchmarks of the simulation substrate: event-core throughput
+// (schedule→fire, schedule/cancel/fire), network-hop cost, multicast
+// fan-out and end-to-end consensus/abcast instance cost.  These bound how
+// much simulated time the figure benches can afford.
+//
+// The scheduler kernels also report allocs_per_event, counted by the
+// global operator new override below — the refactored event core must
+// show 0 in steady state (asserted by scheduler_test's allocation
+// harness; the counter here tracks the same property per benchmark run).
+//
+// Builds against Google Benchmark when available, or against the tiny
+// built-in harness in bench/microbench.hpp (-DFDGM_MICROBENCH_FALLBACK,
+// CMake option FDGM_BENCH_FALLBACK), which supports the same API subset
+// plus --benchmark_format=json.  Before/after numbers for the PR-3 event
+// core refactor are recorded in BENCH_pr3.json at the repository root.
+#ifdef FDGM_MICROBENCH_FALLBACK
+#include "microbench.hpp"
+#else
 #include <benchmark/benchmark.h>
+#endif
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "net/system.hpp"
 #include "sim/scheduler.hpp"
 
+// GCC pairs the malloc-backed operator new below with the free-backed
+// operator delete across inlining and flags a false mismatch; the pair
+// is consistent by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+// ---------------------------------------------------------- alloc counting
+namespace {
+std::uint64_t g_allocs = 0;
+}
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
 using namespace fdgm;
 
 namespace {
 
-void BM_SchedulerScheduleRun(benchmark::State& state) {
+std::uint64_t g_sink = 0;
+
+void BM_SchedulerScheduleFire(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::Scheduler s;
+  // Realistic callback capture (~40 bytes, like a network pipeline stage).
+  auto schedule_batch = [&] {
+    sim::Scheduler* sp = &s;
+    for (int i = 0; i < batch; ++i) {
+      std::uint64_t a = static_cast<std::uint64_t>(i);
+      std::uint64_t b = a ^ 0x9e3779b97f4a7c15ULL;
+      s.schedule_after(static_cast<double>(i % 64), [sp, a, b, i] {
+        g_sink += a + b + static_cast<std::uint64_t>(i) + sp->executed();
+      });
+    }
+  };
+  schedule_batch();  // warm-up: grow heap/slab capacity
+  s.run();
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t events = 0;
   for (auto _ : state) {
-    sim::Scheduler s;
-    const int n = static_cast<int>(state.range(0));
-    for (int i = 0; i < n; ++i) s.schedule_at(static_cast<double>(i % 64), [] {});
+    schedule_batch();
     s.run();
-    benchmark::DoNotOptimize(s.executed());
+    events += batch;
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(events);
 }
-BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_SchedulerScheduleFire)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerScheduleCancelFire(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::Scheduler s;
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
+  auto round = [&] {
+    sim::Scheduler* sp = &s;
+    for (int i = 0; i < batch; ++i) {
+      std::uint64_t a = static_cast<std::uint64_t>(i);
+      std::uint64_t b = a * 3;
+      ids[static_cast<std::size_t>(i)] =
+          s.schedule_after(static_cast<double>(i % 64), [sp, a, b, i] {
+            g_sink += a + b + static_cast<std::uint64_t>(i) + sp->executed();
+          });
+    }
+    for (int i = 0; i < batch; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+    s.run();
+  };
+  round();  // warm-up
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    round();
+    events += batch;
+  }
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(events);
+}
+BENCHMARK(BM_SchedulerScheduleCancelFire)->Arg(1024);
 
 void BM_NetworkUnicastHop(benchmark::State& state) {
+  net::System sys(2, net::NetworkConfig{}, 1);
+  class Sink final : public net::Layer {
+   public:
+    void on_message(const net::Message&) override {}
+  } sink;
+  sys.node(1).register_handler(net::ProtocolId::kApplication, &sink);
+  const net::BlankPayload payload;
+  std::int64_t msgs = 0;
   for (auto _ : state) {
-    net::System sys(2, net::NetworkConfig{}, 1);
-    class Sink final : public net::Layer {
-     public:
-      void on_message(const net::Message&) override {}
-    } sink;
-    sys.node(1).register_handler(net::ProtocolId::kApplication, &sink);
-    for (int i = 0; i < 1000; ++i)
-      sys.node(0).send(1, net::ProtocolId::kApplication, std::make_shared<net::Payload>());
+    for (int i = 0; i < 1000; ++i) sys.node(0).send(1, net::ProtocolId::kApplication, &payload);
     sys.scheduler().run();
-    benchmark::DoNotOptimize(sys.network().messages_delivered());
+    msgs += 1000;
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetItemsProcessed(msgs);
+  benchmark::DoNotOptimize(sys.network().messages_delivered());
 }
 BENCHMARK(BM_NetworkUnicastHop);
+
+void BM_NetworkMulticastFanout(benchmark::State& state) {
+  constexpr int kN = 8;
+  net::System sys(kN, net::NetworkConfig{}, 1);
+  class Sink final : public net::Layer {
+   public:
+    void on_message(const net::Message&) override {}
+  } sink;
+  for (int i = 0; i < kN; ++i)
+    sys.node(i).register_handler(net::ProtocolId::kApplication, &sink);
+  const net::BlankPayload payload;
+  std::int64_t deliveries = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 250; ++i)
+      sys.node(i % kN).multicast_all(net::ProtocolId::kApplication, &payload);
+    sys.scheduler().run();
+    deliveries += 250 * kN;
+  }
+  state.SetItemsProcessed(deliveries);
+  benchmark::DoNotOptimize(sys.network().messages_delivered());
+}
+BENCHMARK(BM_NetworkMulticastFanout);
 
 void BM_AbcastSecond(benchmark::State& state) {
   // Cost of one simulated second of atomic broadcast at T=300/s, n=3.
@@ -59,3 +177,5 @@ BENCHMARK(BM_AbcastSecond)
     ->Arg(static_cast<int>(core::Algorithm::kGm));
 
 }  // namespace
+
+BENCHMARK_MAIN();

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 
 #include "net/message.hpp"
 #include "sim/time.hpp"
@@ -35,13 +34,16 @@ struct MsgIdHash {
 /// The application-level message carried through atomic broadcast.
 class AppMessage final : public net::Payload {
  public:
-  AppMessage(MsgId id, sim::Time sent_at) : id(id), sent_at(sent_at) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kApplication;
+  static constexpr std::uint8_t kKind = 1;
+
+  AppMessage(MsgId id, sim::Time sent_at) : Payload(kProto, kKind), id(id), sent_at(sent_at) {}
 
   MsgId id;
   sim::Time sent_at;  // A-broadcast timestamp (for the latency metric)
 };
 
-using AppMessagePtr = std::shared_ptr<const AppMessage>;
+using AppMessagePtr = const AppMessage*;
 
 /// Per-process endpoint of an atomic broadcast algorithm.
 class AtomicBroadcastProcess {

@@ -11,11 +11,16 @@ constexpr std::uint32_t kAbcastContext = 0;  // consensus context of the FD algo
 }  // namespace
 
 // ------------------------------------------------ crash-recovery wire types
+// Payload kinds on kAtomicBroadcast: the FD stack uses 0..7, the GM stack
+// (gm_abcast.cpp) 8..15, so the two stacks can never mis-cast each
+// other's payloads even inside one test binary.
 
 /// "Send me everything after log position `log_len`."
 class FdAbcastProcess::SyncReq final : public net::Payload {
  public:
-  explicit SyncReq(std::uint64_t log_len) : log_len(log_len) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 0;
+  explicit SyncReq(std::uint64_t log_len) : Payload(kProto, kKind), log_len(log_len) {}
   std::uint64_t log_len;
 };
 
@@ -23,6 +28,9 @@ class FdAbcastProcess::SyncReq final : public net::Payload {
 /// consensus position, its rotation anchors and its undecided contents.
 class FdAbcastProcess::SyncResp final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 1;
+  SyncResp() : Payload(kProto, kKind) {}
   std::uint64_t from_len = 0;                        // echo of the request
   std::vector<AppMessagePtr> suffix;                 // log_[from_len..)
   std::uint64_t next = 1;                            // peer's next_to_process_
@@ -65,7 +73,7 @@ FdAbcastProcess::~FdAbcastProcess() {
 MsgId FdAbcastProcess::a_broadcast() {
   if (sys_->node(self_).crashed()) return MsgId{};
   const MsgId id{self_, next_msg_seq_++};
-  auto msg = std::make_shared<AppMessage>(id, sys_->now());
+  const AppMessage* msg = sys_->arena().make<AppMessage>(id, sys_->now());
   rb_.broadcast(kDataTag, msg);  // delivers locally too -> on_data
   return id;
 }
@@ -88,15 +96,12 @@ void FdAbcastProcess::on_restart() {
 }
 
 void FdAbcastProcess::send_sync_req() {
-  std::vector<net::ProcessId> others;
-  for (net::ProcessId p : sys_->all())
-    if (p != self_) others.push_back(p);
-  if (others.empty()) {
+  if (sys_->n() == 1) {
     syncing_ = false;  // single-process system: nothing to catch up on
     return;
   }
-  sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
-                              std::make_shared<SyncReq>(log_.size()));
+  sys_->node(self_).multicast_others(sys_->all(), net::ProtocolId::kAtomicBroadcast,
+                                     sys_->arena().make<SyncReq>(log_.size()));
 }
 
 void FdAbcastProcess::catchup_tick(std::uint64_t epoch) {
@@ -123,20 +128,20 @@ void FdAbcastProcess::handle_sync_req(net::ProcessId from, const SyncReq& req) {
   if (log_.size() < req.log_len) return;
   for (net::ProcessId q : sys_->all())
     if (q != from && q != self_ && q < self_ && !fd_->suspects(q)) return;
-  auto resp = std::make_shared<SyncResp>();
+  SyncResp* resp = sys_->arena().make<SyncResp>();
   resp->from_len = req.log_len;
   resp->suffix.assign(log_.begin() + static_cast<std::ptrdiff_t>(req.log_len), log_.end());
   resp->next = next_to_process_;
   resp->winners = winners_;
   resp->pending.reserve(pending_.size());
   for (const auto& [id, msg] : pending_) resp->pending.push_back(msg);
-  sys_->node(self_).send(from, net::ProtocolId::kAtomicBroadcast, std::move(resp));
+  sys_->node(self_).send(from, net::ProtocolId::kAtomicBroadcast, resp);
 }
 
 void FdAbcastProcess::apply_sync_resp(const SyncResp& resp) {
   if (resp.from_len != log_.size()) return;  // stale (an earlier sync applied)
   syncing_ = false;
-  for (const AppMessagePtr& msg : resp.suffix) {
+  for (AppMessagePtr msg : resp.suffix) {
     if (!delivered_ids_.insert(msg->id).second) continue;
     pending_.erase(msg->id);
     proposed_in_.erase(msg->id);
@@ -147,7 +152,7 @@ void FdAbcastProcess::apply_sync_resp(const SyncResp& resp) {
     log_.push_back(msg);
     if (deliver_cb_) deliver_cb_(*msg);
   }
-  for (const AppMessagePtr& msg : resp.pending)
+  for (AppMessagePtr msg : resp.pending)
     if (!delivered_ids_.contains(msg->id)) pending_.emplace(msg->id, msg);
   if (resp.next > next_to_process_) {
     next_to_process_ = resp.next;
@@ -174,9 +179,9 @@ void FdAbcastProcess::on_message(const net::Message& m) {
   throw std::logic_error("FdAbcastProcess: foreign payload");
 }
 
-void FdAbcastProcess::on_data(const rbcast::RbId& rb_id, const net::PayloadPtr& inner) {
-  auto msg = std::dynamic_pointer_cast<const AppMessage>(inner);
-  if (!msg) throw std::logic_error("FdAbcastProcess: bad data payload");
+void FdAbcastProcess::on_data(const rbcast::RbId& rb_id, net::PayloadPtr inner) {
+  const AppMessage* msg = net::payload_cast<AppMessage>(inner);
+  if (msg == nullptr) throw std::logic_error("FdAbcastProcess: bad data payload");
   if (delivered_ids_.contains(msg->id)) {
     rb_.release(rb_id);  // late relay of an already delivered message
     return;
@@ -204,7 +209,7 @@ consensus::StartInfo FdAbcastProcess::make_start_info(std::uint64_t number) {
   return consensus::StartInfo{
       .members = sys_->all(),
       .coordinator_offset = offset_for(number),
-      .initial = std::make_shared<Proposal>(self_, std::move(ids)),
+      .initial = sys_->arena().make<Proposal>(self_, std::move(ids)),
       // Recovery rounds with no locked value may batch in later arrivals.
       .refresh =
           [this, number]() -> net::PayloadPtr {
@@ -215,7 +220,7 @@ consensus::StartInfo FdAbcastProcess::make_start_info(std::uint64_t number) {
               auto [it, inserted] = proposed_in_.try_emplace(id, number);
               if (!inserted) it->second = std::max(it->second, number);
             }
-            return std::make_shared<Proposal>(self_, std::move(fresh));
+            return sys_->arena().make<Proposal>(self_, std::move(fresh));
           },
   };
 }
@@ -244,8 +249,8 @@ void FdAbcastProcess::maybe_start_next() {
 }
 
 void FdAbcastProcess::on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value) {
-  auto prop = std::dynamic_pointer_cast<const Proposal>(value);
-  if (!prop) throw std::logic_error("FdAbcastProcess: bad decision payload");
+  const Proposal* prop = net::payload_cast<Proposal>(value);
+  if (prop == nullptr) throw std::logic_error("FdAbcastProcess: bad decision payload");
   ready_decisions_.emplace(key.number, prop);
   process_ready_decisions();
   maybe_start_next();

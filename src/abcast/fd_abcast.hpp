@@ -96,8 +96,10 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   /// The consensus value: a set of message ids tagged with the proposer.
   class Proposal final : public net::Payload {
    public:
+    static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+    static constexpr std::uint8_t kKind = 2;
     Proposal(net::ProcessId proposer, std::vector<MsgId> ids)
-        : proposer(proposer), ids(std::move(ids)) {}
+        : Payload(kProto, kKind), proposer(proposer), ids(std::move(ids)) {}
     net::ProcessId proposer;
     std::vector<MsgId> ids;
   };
@@ -105,7 +107,7 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   class SyncReq;
   class SyncResp;
 
-  void on_data(const rbcast::RbId& rb_id, const net::PayloadPtr& inner);
+  void on_data(const rbcast::RbId& rb_id, net::PayloadPtr inner);
   void on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value);
   void maybe_start_next();
   void process_ready_decisions();
@@ -144,7 +146,7 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   std::vector<AppMessagePtr> log_;
 
   std::uint64_t next_to_process_ = 1;  // next decision to apply
-  std::map<std::uint64_t, std::shared_ptr<const Proposal>> ready_decisions_;
+  std::map<std::uint64_t, const Proposal*> ready_decisions_;
   /// Winning proposer per processed decision (pruned below the window):
   /// anchors the coordinator rotation of instance #(k + pipeline).
   std::map<std::uint64_t, net::ProcessId> winners_;

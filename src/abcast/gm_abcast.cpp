@@ -7,32 +7,43 @@
 namespace fdgm::abcast {
 
 // -------------------------------------------------------------- wire types
+// Payload kinds on kAtomicBroadcast: the GM stack uses 8..15 (the FD
+// stack owns 0..7 — see fd_abcast.cpp).
 
 class GmAbcastProcess::DataMsg final : public net::Payload {
  public:
-  explicit DataMsg(AppMessagePtr msg) : msg(std::move(msg)) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 8;
+  explicit DataMsg(AppMessagePtr msg) : Payload(kProto, kKind), msg(msg) {}
   AppMessagePtr msg;
 };
 
 class GmAbcastProcess::SeqnumMsg final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 9;
   SeqnumMsg(std::uint64_t view_id, std::vector<std::pair<MsgId, std::int64_t>> pairs)
-      : view_id(view_id), pairs(std::move(pairs)) {}
+      : Payload(kProto, kKind), view_id(view_id), pairs(std::move(pairs)) {}
   std::uint64_t view_id;
   std::vector<std::pair<MsgId, std::int64_t>> pairs;
 };
 
 class GmAbcastProcess::AckMsg final : public net::Payload {
  public:
-  AckMsg(std::uint64_t view_id, std::int64_t cum) : view_id(view_id), cum(cum) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 10;
+  AckMsg(std::uint64_t view_id, std::int64_t cum)
+      : Payload(kProto, kKind), view_id(view_id), cum(cum) {}
   std::uint64_t view_id;
   std::int64_t cum;
 };
 
 class GmAbcastProcess::DeliverMsg final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 11;
   DeliverMsg(std::uint64_t view_id, std::int64_t cum, std::int64_t stable)
-      : view_id(view_id), cum(cum), stable(stable) {}
+      : Payload(kProto, kKind), view_id(view_id), cum(cum), stable(stable) {}
   std::uint64_t view_id;
   std::int64_t cum;
   /// Every view member holds content+order up to here (min cumulative
@@ -45,8 +56,10 @@ class GmAbcastProcess::DeliverMsg final : public net::Payload {
 /// view that did not include the joiner yet.
 class GmAbcastProcess::NeedMsg final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 12;
   NeedMsg(std::uint64_t view_id, std::int64_t from, std::int64_t to)
-      : view_id(view_id), from(from), to(to) {}
+      : Payload(kProto, kKind), view_id(view_id), from(from), to(to) {}
   std::uint64_t view_id;
   std::int64_t from;
   std::int64_t to;
@@ -55,6 +68,9 @@ class GmAbcastProcess::NeedMsg final : public net::Payload {
 /// State transferred to a wrongly excluded process when it rejoins.
 class GmAbcastProcess::GmState final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kAtomicBroadcast;
+  static constexpr std::uint8_t kKind = 13;
+  GmState() : Payload(kProto, kKind) {}
   std::vector<AppMessagePtr> log_suffix;                       // missed deliveries
   std::vector<std::pair<AppMessagePtr, std::int64_t>> known;  // undelivered (+sn or -1)
   std::int64_t sn_floor = 0;
@@ -86,18 +102,14 @@ GmAbcastProcess::~GmAbcastProcess() {
 MsgId GmAbcastProcess::a_broadcast() {
   if (sys_->node(self_).crashed()) return MsgId{};
   const MsgId id{self_, next_msg_seq_++};
-  auto msg = std::make_shared<AppMessage>(id, sys_->now());
+  const AppMessage* msg = sys_->arena().make<AppMessage>(id, sys_->now());
   if (!member_) {
     // Wrongly excluded: hold the message until we rejoin.
     own_buffer_.push_back(msg);
     return id;
   }
-  std::vector<net::ProcessId> others;
-  for (net::ProcessId p : view_.members)
-    if (p != self_) others.push_back(p);
-  if (!others.empty())
-    sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
-                                std::make_shared<DataMsg>(msg));
+  sys_->node(self_).multicast_others(view_.members, net::ProtocolId::kAtomicBroadcast,
+                                     sys_->arena().make<DataMsg>(msg));
   handle_data(msg);
   return id;
 }
@@ -154,12 +166,9 @@ void GmAbcastProcess::sequence_pending() {
   }
   if (assigned.empty()) return;
   batch_ends_.push_back(next_sn_ - 1);
-  std::vector<net::ProcessId> others;
-  for (net::ProcessId p : view_.members)
-    if (p != self_) others.push_back(p);
-  if (!others.empty())
-    sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
-                                std::make_shared<SeqnumMsg>(view_.id, std::move(assigned)));
+  sys_->node(self_).multicast_others(
+      view_.members, net::ProtocolId::kAtomicBroadcast,
+      sys_->arena().make<SeqnumMsg>(view_.id, std::move(assigned)));
   if (cfg_.uniform) {
     try_deliver_sequencer();
   } else {
@@ -180,7 +189,7 @@ void GmAbcastProcess::try_advance_ack() {
   if (cfg_.uniform) {
     if (!is_sequencer())
       sys_->node(self_).send(view_.members.front(), net::ProtocolId::kAtomicBroadcast,
-                             std::make_shared<AckMsg>(view_.id, ack_sn_));
+                             sys_->arena().make<AckMsg>(view_.id, ack_sn_));
     deliver_up_to(std::min(announced_, ack_sn_));
   } else {
     // Non-uniform: deliver as soon as content + order are known.
@@ -206,12 +215,9 @@ void GmAbcastProcess::try_deliver_sequencer() {
   announced_ = deliverable;
   deliver_up_to(deliverable);
   recent_delivered_.erase(recent_delivered_.begin(), recent_delivered_.upper_bound(stable));
-  std::vector<net::ProcessId> others;
-  for (net::ProcessId p : view_.members)
-    if (p != self_) others.push_back(p);
-  if (!others.empty())
-    sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
-                                std::make_shared<DeliverMsg>(view_.id, deliverable, stable));
+  sys_->node(self_).multicast_others(
+      view_.members, net::ProtocolId::kAtomicBroadcast,
+      sys_->arena().make<DeliverMsg>(view_.id, deliverable, stable));
   // Batches may have completed: assign the next one if messages queued up.
   sequence_pending();
 }
@@ -228,12 +234,9 @@ void GmAbcastProcess::deliver_up_to(std::int64_t sn) {
   }
 }
 
-// Takes the pointer by value: callers pass the shared_ptr stored inside
-// msgs_, and the erase below destroys that map entry — a reference would
-// dangle for the push_back and the delivery callback.
 void GmAbcastProcess::deliver_msg(AppMessagePtr msg) {
   if (!delivered_.insert(msg->id).second) return;
-  msgs_.erase(msg->id);  // content lives on in the log
+  msgs_.erase(msg->id);  // content lives on in the run's arena
   log_.push_back(msg);
   if (deliver_cb_) deliver_cb_(*msg);
 }
@@ -241,11 +244,11 @@ void GmAbcastProcess::deliver_msg(AppMessagePtr msg) {
 // ---------------------------------------------------------------- messages
 
 void GmAbcastProcess::on_message(const net::Message& m) {
-  if (auto d = net::payload_cast<DataMsg>(m)) {
+  if (const auto* d = net::payload_cast<DataMsg>(m)) {
     handle_data(d->msg);
     return;
   }
-  if (auto s = net::payload_cast<SeqnumMsg>(m)) {
+  if (const auto* s = net::payload_cast<SeqnumMsg>(m)) {
     if (s->view_id != view_.id) return;  // stale view: ignored, re-sequenced later
     for (const auto& [id, sn] : s->pairs) {
       if (sn <= sn_floor_) continue;
@@ -255,14 +258,14 @@ void GmAbcastProcess::on_message(const net::Message& m) {
     try_advance_ack();
     return;
   }
-  if (auto a = net::payload_cast<AckMsg>(m)) {
+  if (const auto* a = net::payload_cast<AckMsg>(m)) {
     if (a->view_id != view_.id || !active_sequencer()) return;
     auto [it, inserted] = acks_.try_emplace(m.src, a->cum);
     if (!inserted) it->second = std::max(it->second, a->cum);
     try_deliver_sequencer();
     return;
   }
-  if (auto del = net::payload_cast<DeliverMsg>(m)) {
+  if (const auto* del = net::payload_cast<DeliverMsg>(m)) {
     if (del->view_id != view_.id || frozen_ || !member_) return;
     announced_ = std::max(announced_, del->cum);
     deliver_up_to(std::min(announced_, ack_sn_));
@@ -272,11 +275,11 @@ void GmAbcastProcess::on_message(const net::Message& m) {
       // Gap repair (post-rejoin): ask the sequencer for what we miss.
       requested_ = announced_;
       sys_->node(self_).send(view_.members.front(), net::ProtocolId::kAtomicBroadcast,
-                             std::make_shared<NeedMsg>(view_.id, ack_sn_, announced_));
+                             sys_->arena().make<NeedMsg>(view_.id, ack_sn_, announced_));
     }
     return;
   }
-  if (auto need = net::payload_cast<NeedMsg>(m)) {
+  if (const auto* need = net::payload_cast<NeedMsg>(m)) {
     if (need->view_id != view_.id || !is_sequencer()) return;
     std::vector<std::pair<MsgId, std::int64_t>> pairs;
     const std::int64_t lo = std::max(need->from, sn_floor_);
@@ -284,7 +287,7 @@ void GmAbcastProcess::on_message(const net::Message& m) {
       auto it = msg_at_.find(sn);
       if (it == msg_at_.end()) continue;
       pairs.emplace_back(it->second, sn);
-      AppMessagePtr content;
+      AppMessagePtr content = nullptr;
       if (auto mit = msgs_.find(it->second); mit != msgs_.end()) {
         content = mit->second;
       } else {
@@ -295,13 +298,13 @@ void GmAbcastProcess::on_message(const net::Message& m) {
             break;
           }
       }
-      if (content)
+      if (content != nullptr)
         sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast,
-                               std::make_shared<DataMsg>(content));
+                               sys_->arena().make<DataMsg>(content));
     }
     if (!pairs.empty())
       sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast,
-                             std::make_shared<SeqnumMsg>(view_.id, std::move(pairs)));
+                             sys_->arena().make<SeqnumMsg>(view_.id, std::move(pairs)));
     return;
   }
   throw std::logic_error("GmAbcastProcess: foreign payload");
@@ -398,19 +401,15 @@ void GmAbcastProcess::send_buffered() {
   if (own_buffer_.empty()) return;
   std::vector<AppMessagePtr> buf;
   buf.swap(own_buffer_);
-  std::vector<net::ProcessId> others;
-  for (net::ProcessId p : view_.members)
-    if (p != self_) others.push_back(p);
-  for (const AppMessagePtr& msg : buf) {
-    if (!others.empty())
-      sys_->node(self_).multicast(others, net::ProtocolId::kAtomicBroadcast,
-                                  std::make_shared<DataMsg>(msg));
+  for (AppMessagePtr msg : buf) {
+    sys_->node(self_).multicast_others(view_.members, net::ProtocolId::kAtomicBroadcast,
+                                       sys_->arena().make<DataMsg>(msg));
     handle_data(msg);
   }
 }
 
 net::PayloadPtr GmAbcastProcess::make_state(std::uint64_t from) const {
-  auto st = std::make_shared<GmState>();
+  GmState* st = sys_->arena().make<GmState>();
   for (std::size_t i = from; i < log_.size(); ++i) st->log_suffix.push_back(log_[i]);
   for (const MsgId& id : arrival_order_) {
     auto it = msgs_.find(id);
@@ -425,9 +424,9 @@ net::PayloadPtr GmAbcastProcess::make_state(std::uint64_t from) const {
 }
 
 void GmAbcastProcess::apply_state(const net::PayloadPtr& state, const gm::View& v) {
-  auto st = std::dynamic_pointer_cast<const GmState>(state);
-  if (!st) throw std::logic_error("GmAbcastProcess: bad state payload");
-  for (const AppMessagePtr& msg : st->log_suffix)
+  const GmState* st = net::payload_cast<GmState>(state);
+  if (st == nullptr) throw std::logic_error("GmAbcastProcess: bad state payload");
+  for (AppMessagePtr msg : st->log_suffix)
     if (!delivered_.contains(msg->id)) deliver_msg(msg);
   // Raise the floor first: mappings in `known` above the sender's floor are
   // live assignments of the current view and must be kept.

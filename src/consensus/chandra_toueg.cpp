@@ -41,7 +41,8 @@ void Instance::start() { try_progress(); }
 
 void Instance::send_to_coordinator(std::uint32_t r, ConsensusMsg::Kind kind,
                                    net::PayloadPtr value, std::uint32_t ts) {
-  auto msg = std::make_shared<ConsensusMsg>(key_, kind, r, std::move(value), ts);
+  const ConsensusMsg* msg =
+      service_->system().arena().make<ConsensusMsg>(key_, kind, r, value, ts);
   const net::ProcessId coord = coordinator(r);
   if (coord == self_) {
     on_msg(self_, *msg);  // local bookkeeping, no network cost
@@ -113,7 +114,7 @@ void Instance::try_progress() {
     // --- Coordinator: phase 2, issue the proposal.
     if (coord == self_ && !st.proposed) {
       bool can_propose = false;
-      net::PayloadPtr value;
+      net::PayloadPtr value = nullptr;
       if (r == 1) {
         // Optimized first round: propose the initial value directly.
         can_propose = true;
@@ -139,12 +140,9 @@ void Instance::try_progress() {
         st.proposed = true;
         st.have_proposal = true;
         st.proposal = value;
-        auto msg = std::make_shared<ConsensusMsg>(key_, ConsensusMsg::Kind::kPropose, r, value,
-                                                  /*ts=*/0);
-        std::vector<net::ProcessId> others;
-        for (net::ProcessId p : members_)
-          if (p != self_) others.push_back(p);
-        if (!others.empty()) service_->multicast(others, msg);
+        const ConsensusMsg* msg = service_->system().arena().make<ConsensusMsg>(
+            key_, ConsensusMsg::Kind::kPropose, r, value, /*ts=*/0);
+        service_->multicast_others(members_, msg);
         changed = true;
       }
     }
@@ -185,12 +183,9 @@ void Instance::try_progress() {
       // Tell everybody the round failed so that processes waiting for the
       // decision resynchronize immediately instead of waiting for their
       // failure detector.
-      auto msg = std::make_shared<ConsensusMsg>(key_, ConsensusMsg::Kind::kRoundFailed, r,
-                                                nullptr, /*ts=*/0);
-      std::vector<net::ProcessId> others;
-      for (net::ProcessId p : members_)
-        if (p != self_) others.push_back(p);
-      if (!others.empty()) service_->multicast(others, msg);
+      const ConsensusMsg* msg = service_->system().arena().make<ConsensusMsg>(
+          key_, ConsensusMsg::Kind::kRoundFailed, r, nullptr, /*ts=*/0);
+      service_->multicast_others(members_, msg);
       advance_to(r + 1);
       changed = true;
     }
@@ -270,13 +265,12 @@ void ConsensusService::close_below(std::uint32_t context, std::uint64_t number) 
 }
 
 void ConsensusService::on_message(const net::Message& m) {
-  auto cm = std::dynamic_pointer_cast<const ConsensusMsg>(m.payload);
-  if (!cm) throw std::logic_error("ConsensusService: foreign payload");
+  const ConsensusMsg* cm = net::payload_cast<ConsensusMsg>(m);
+  if (cm == nullptr) throw std::logic_error("ConsensusService: foreign payload");
   dispatch(m.src, cm);
 }
 
-void ConsensusService::dispatch(net::ProcessId from,
-                                const std::shared_ptr<const ConsensusMsg>& m) {
+void ConsensusService::dispatch(net::ProcessId from, const ConsensusMsg* m) {
   if (decided(m->key)) return;  // stale traffic for a closed instance
   if (auto it = instances_.find(m->key); it != instances_.end()) {
     it->second->on_msg(from, *m);
@@ -295,26 +289,26 @@ void ConsensusService::dispatch(net::ProcessId from,
   buffered_[m->key].emplace_back(from, m);
 }
 
-void ConsensusService::unicast(net::ProcessId dst, const std::shared_ptr<const ConsensusMsg>& m) {
+void ConsensusService::unicast(net::ProcessId dst, const ConsensusMsg* m) {
   sys_->node(self_).send(dst, net::ProtocolId::kConsensus, m);
 }
 
-void ConsensusService::multicast(const std::vector<net::ProcessId>& dsts,
-                                 const std::shared_ptr<const ConsensusMsg>& m) {
-  sys_->node(self_).multicast(dsts, net::ProtocolId::kConsensus, m);
+void ConsensusService::multicast_others(const std::vector<net::ProcessId>& members,
+                                        const ConsensusMsg* m) {
+  sys_->node(self_).multicast_others(members, net::ProtocolId::kConsensus, m);
 }
 
 void ConsensusService::decide(const InstanceKey& key, const std::vector<net::ProcessId>& members,
                               net::PayloadPtr value) {
-  auto msg = std::make_shared<ConsensusMsg>(key, ConsensusMsg::Kind::kDecide, /*round=*/0,
-                                            std::move(value), /*ts=*/0);
+  const ConsensusMsg* msg = sys_->arena().make<ConsensusMsg>(
+      key, ConsensusMsg::Kind::kDecide, /*round=*/0, value, /*ts=*/0);
   rb_->broadcast_group(kDecideTag, members, msg);
 }
 
 void ConsensusService::on_decide_rb(const rbcast::RbId& id, net::ProcessId /*origin*/,
-                                    const net::PayloadPtr& inner) {
-  auto cm = std::dynamic_pointer_cast<const ConsensusMsg>(inner);
-  if (!cm || cm->kind != ConsensusMsg::Kind::kDecide)
+                                    net::PayloadPtr inner) {
+  const ConsensusMsg* cm = net::payload_cast<ConsensusMsg>(inner);
+  if (cm == nullptr || cm->kind != ConsensusMsg::Kind::kDecide)
     throw std::logic_error("ConsensusService: bad decision payload");
   handle_decision(cm);
   // Release even when the decision was a duplicate or already settled by
@@ -323,7 +317,7 @@ void ConsensusService::on_decide_rb(const rbcast::RbId& id, net::ProcessId /*ori
   rb_->release(id);
 }
 
-bool ConsensusService::handle_decision(const std::shared_ptr<const ConsensusMsg>& cm) {
+bool ConsensusService::handle_decision(const ConsensusMsg* cm) {
   if (below_floor(cm->key)) return false;  // settled out of band already
   if (!decided_.insert(cm->key).second) return false;  // duplicate decision
   if (auto it = instances_.find(cm->key); it != instances_.end()) {

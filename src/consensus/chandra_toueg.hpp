@@ -52,7 +52,7 @@ struct StartInfo {
   /// Rotation offset: coordinator of round 1 is members[offset % size].
   int coordinator_offset = 0;
   /// This process's initial value (proposed if it coordinates round 1).
-  net::PayloadPtr initial;
+  net::PayloadPtr initial = nullptr;
   /// Optional: called when this process coordinates a round in which no
   /// estimate carries a positive timestamp (no value was ever locked — any
   /// proposal is safe).  Lets the client refresh the proposal with work
@@ -96,7 +96,7 @@ class Instance final : public fd::SuspicionListener {
     std::set<net::ProcessId> nacks;
     bool proposed = false;
     bool resolved = false;  // coordinator saw its first majority of replies
-    net::PayloadPtr proposal;  // also set on participants when PROPOSE arrives
+    net::PayloadPtr proposal = nullptr;  // set on participants when PROPOSE arrives
     bool have_proposal = false;
     bool failed = false;  // ROUND-FAILED received (or issued)
     // Participant side.
@@ -192,19 +192,19 @@ class ConsensusService final : public net::Layer {
   [[nodiscard]] fd::FailureDetector& fd() { return *fd_; }
 
   // --- used by Instance ---
-  void unicast(net::ProcessId dst, const std::shared_ptr<const ConsensusMsg>& m);
-  void multicast(const std::vector<net::ProcessId>& dsts,
-                 const std::shared_ptr<const ConsensusMsg>& m);
+  void unicast(net::ProcessId dst, const ConsensusMsg* m);
+  /// Multicast to every member except this process (no loopback copy).
+  void multicast_others(const std::vector<net::ProcessId>& members, const ConsensusMsg* m);
   /// Coordinator path: reliably broadcast the decision to the members.
   void decide(const InstanceKey& key, const std::vector<net::ProcessId>& members,
               net::PayloadPtr value);
 
  private:
-  void on_decide_rb(const rbcast::RbId& id, net::ProcessId origin, const net::PayloadPtr& inner);
-  void dispatch(net::ProcessId from, const std::shared_ptr<const ConsensusMsg>& m);
+  void on_decide_rb(const rbcast::RbId& id, net::ProcessId origin, net::PayloadPtr inner);
+  void dispatch(net::ProcessId from, const ConsensusMsg* m);
   /// Applies a decision (from rbcast or a direct relay); returns true when
   /// it was new.
-  bool handle_decision(const std::shared_ptr<const ConsensusMsg>& cm);
+  bool handle_decision(const ConsensusMsg* cm);
   [[nodiscard]] bool below_floor(const InstanceKey& key) const {
     auto it = closed_floor_.find(key.context);
     return it != closed_floor_.end() && key.number < it->second;
@@ -216,7 +216,7 @@ class ConsensusService final : public net::Layer {
   rbcast::ReliableBroadcast* rb_;
   std::unordered_map<std::uint32_t, ContextConfig> contexts_;
   std::unordered_map<InstanceKey, std::unique_ptr<Instance>, InstanceKeyHash> instances_;
-  std::unordered_map<InstanceKey, std::vector<std::pair<net::ProcessId, std::shared_ptr<const ConsensusMsg>>>,
+  std::unordered_map<InstanceKey, std::vector<std::pair<net::ProcessId, const ConsensusMsg*>>,
                      InstanceKeyHash>
       buffered_;
   std::unordered_set<InstanceKey, InstanceKeyHash> decided_;

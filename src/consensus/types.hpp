@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <utility>
 
 #include "net/message.hpp"
 
@@ -31,11 +30,14 @@ struct InstanceKeyHash {
 /// travels via reliable broadcast (not through this payload's normal path).
 class ConsensusMsg final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kConsensus;
+  static constexpr std::uint8_t kKind = 0;
+
   enum class Kind : std::uint8_t { kEstimate, kPropose, kAck, kNack, kRoundFailed, kDecide };
 
   ConsensusMsg(InstanceKey key, Kind kind, std::uint32_t round, net::PayloadPtr value,
                std::uint32_t ts)
-      : key(key), kind(kind), round(round), value(std::move(value)), ts(ts) {}
+      : Payload(kProto, kKind), key(key), kind(kind), round(round), value(value), ts(ts) {}
 
   InstanceKey key;
   Kind kind;

@@ -28,15 +28,22 @@ int vc_offset(const View& v) {
 /// step 1 of the five-step view change).
 class GroupMembership::VcSignalPayload final : public net::Payload {
  public:
-  explicit VcSignalPayload(std::uint64_t view_id) : view_id(view_id) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kMembership;
+  static constexpr std::uint8_t kKind = 0;
+  explicit VcSignalPayload(std::uint64_t view_id) : Payload(kProto, kKind), view_id(view_id) {}
   std::uint64_t view_id;
 };
 
 /// Unstable-message announcement (step 2).
 class GroupMembership::UnstableMsgPayload final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kMembership;
+  static constexpr std::uint8_t kKind = 1;
   UnstableMsgPayload(std::uint64_t view_id, UnstableReport report, std::vector<Joiner> joiners)
-      : view_id(view_id), report(std::move(report)), joiners(std::move(joiners)) {}
+      : Payload(kProto, kKind),
+        view_id(view_id),
+        report(std::move(report)),
+        joiners(std::move(joiners)) {}
   std::uint64_t view_id;
   UnstableReport report;
   std::vector<Joiner> joiners;
@@ -44,8 +51,10 @@ class GroupMembership::UnstableMsgPayload final : public net::Payload {
 
 class GroupMembership::JoinPayload final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kMembership;
+  static constexpr std::uint8_t kKind = 2;
   JoinPayload(std::uint64_t log_len, std::uint64_t view_hint)
-      : log_len(log_len), view_hint(view_hint) {}
+      : Payload(kProto, kKind), log_len(log_len), view_hint(view_hint) {}
   std::uint64_t log_len;
   /// Most recent view id the joiner knows of; lets a member distinguish a
   /// stale retry (hint older than its installed view — the joiner has
@@ -55,7 +64,10 @@ class GroupMembership::JoinPayload final : public net::Payload {
 
 class GroupMembership::StatePayload final : public net::Payload {
  public:
-  StatePayload(View view, net::PayloadPtr state) : view(std::move(view)), state(std::move(state)) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kMembership;
+  static constexpr std::uint8_t kKind = 3;
+  StatePayload(View view, net::PayloadPtr state)
+      : Payload(kProto, kKind), view(std::move(view)), state(state) {}
   View view;
   net::PayloadPtr state;
 };
@@ -63,9 +75,12 @@ class GroupMembership::StatePayload final : public net::Payload {
 /// Consensus value of a view change: (P, U, J) plus the settled watermark.
 class GroupMembership::MembershipProposal final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kMembership;
+  static constexpr std::uint8_t kKind = 4;
   MembershipProposal(std::vector<net::ProcessId> members, std::vector<UnstableEntry> unstable,
                      std::vector<Joiner> joiners, std::int64_t settled)
-      : members(std::move(members)),
+      : Payload(kProto, kKind),
+        members(std::move(members)),
         unstable(std::move(unstable)),
         joiners(std::move(joiners)),
         settled(settled) {}
@@ -154,28 +169,24 @@ void GroupMembership::start_view_change(bool initiator) {
   unstable_received_.clear();
   client_->on_view_change_started();
 
-  std::vector<net::ProcessId> others;
-  for (net::ProcessId p : view_.members)
-    if (p != self_) others.push_back(p);
-
   // Snapshot the suspect set of this attempt (paper: the proposal is made
   // of "all processes it does not suspect").
   vc_suspected_.clear();
-  for (net::ProcessId p : others)
-    if (fd_->suspects(p)) vc_suspected_.insert(p);
+  for (net::ProcessId p : view_.members)
+    if (p != self_ && fd_->suspects(p)) vc_suspected_.insert(p);
 
   // Step 1 (initiator only): the view-change signal.
-  if (initiator && !others.empty())
-    sys_->node(self_).multicast(others, net::ProtocolId::kMembership,
-                                std::make_shared<VcSignalPayload>(view_.id));
+  if (initiator)
+    sys_->node(self_).multicast_others(view_.members, net::ProtocolId::kMembership,
+                                       sys_->arena().make<VcSignalPayload>(view_.id));
 
   // Step 2: announce our unstable messages.
   unstable_received_[self_] = client_->unstable_messages();
   std::vector<Joiner> js(joiners_.begin(), joiners_.end());
-  auto payload =
-      std::make_shared<UnstableMsgPayload>(view_.id, unstable_received_[self_], std::move(js));
-  if (!others.empty())
-    sys_->node(self_).multicast(others, net::ProtocolId::kMembership, payload);
+  sys_->node(self_).multicast_others(
+      view_.members, net::ProtocolId::kMembership,
+      sys_->arena().make<UnstableMsgPayload>(view_.id, unstable_received_[self_],
+                                             std::move(js)));
   maybe_start_consensus();
 }
 
@@ -231,8 +242,8 @@ void GroupMembership::maybe_start_consensus() {
       consensus::StartInfo{
           .members = view_.members,
           .coordinator_offset = vc_offset(view_),
-          .initial = std::make_shared<MembershipProposal>(std::move(p_set), std::move(u_vec),
-                                                          std::move(j_vec), settled),
+          .initial = sys_->arena().make<MembershipProposal>(std::move(p_set), std::move(u_vec),
+                                                            std::move(j_vec), settled),
       });
 }
 
@@ -254,8 +265,8 @@ void GroupMembership::schedule_attempt_refresh() {
 void GroupMembership::on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value) {
   if (key.number != view_.id) return;  // stale (relayed) or future decision
   if (status_ == Status::kExcluded || status_ == Status::kJoining) return;
-  auto d = std::dynamic_pointer_cast<const MembershipProposal>(value);
-  if (!d) throw std::logic_error("GroupMembership: bad decision payload");
+  const MembershipProposal* d = net::payload_cast<MembershipProposal>(value);
+  if (d == nullptr) throw std::logic_error("GroupMembership: bad decision payload");
   process_decision(*d);
 }
 
@@ -311,7 +322,8 @@ void GroupMembership::process_decision(const MembershipProposal& d) {
     }
     if (responsible == self_) {
       for (const Joiner& j : d.joiners) {
-        auto state = std::make_shared<StatePayload>(nv, client_->make_state(j.log_len));
+        const StatePayload* state =
+            sys_->arena().make<StatePayload>(nv, client_->make_state(j.log_len));
         sys_->node(self_).send(j.p, net::ProtocolId::kMembership, state);
       }
     }
@@ -384,15 +396,16 @@ void GroupMembership::rejoin() {
 
 void GroupMembership::send_join() {
   if (status_ != Status::kJoining) return;
-  auto payload = std::make_shared<JoinPayload>(client_->log_length(), join_view_hint_);
-  sys_->node(self_).multicast(join_targets_, net::ProtocolId::kMembership, payload);
+  sys_->node(self_).multicast(join_targets_, net::ProtocolId::kMembership,
+                              sys_->arena().make<JoinPayload>(client_->log_length(),
+                                                              join_view_hint_));
   sys_->scheduler().schedule_after(cfg_.join_retry, [this] { send_join(); });
 }
 
 // ----------------------------------------------------------------- messages
 
 void GroupMembership::on_message(const net::Message& m) {
-  if (auto sig = net::payload_cast<VcSignalPayload>(m)) {
+  if (const auto* sig = net::payload_cast<VcSignalPayload>(m)) {
     if (sig->view_id < view_.id) return;  // stale
     if (sig->view_id > view_.id) {
       future_[sig->view_id].push_back(m);
@@ -401,7 +414,7 @@ void GroupMembership::on_message(const net::Message& m) {
     if (status_ == Status::kMember) start_view_change(/*initiator=*/false);
     return;
   }
-  if (auto u = net::payload_cast<UnstableMsgPayload>(m)) {
+  if (const auto* u = net::payload_cast<UnstableMsgPayload>(m)) {
     if (u->view_id < view_.id) return;  // stale
     if (u->view_id > view_.id) {
       future_[u->view_id].push_back(m);
@@ -414,7 +427,7 @@ void GroupMembership::on_message(const net::Message& m) {
     maybe_start_consensus();
     return;
   }
-  if (auto j = net::payload_cast<JoinPayload>(m)) {
+  if (const auto* j = net::payload_cast<JoinPayload>(m)) {
     if (status_ == Status::kExcluded || status_ == Status::kJoining) return;
     // Never admit a process the local failure detector still suspects: a
     // recovered process is readmitted only once its recovery is detected
@@ -453,7 +466,7 @@ void GroupMembership::on_message(const net::Message& m) {
     // after installation.
     return;
   }
-  if (auto s = net::payload_cast<StatePayload>(m)) {
+  if (const auto* s = net::payload_cast<StatePayload>(m)) {
     if (status_ != Status::kJoining) return;
     if (s->view.id < join_view_hint_) return;  // stale state
     client_->apply_state(s->state, s->view);

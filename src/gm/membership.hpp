@@ -45,7 +45,7 @@ namespace fdgm::gm {
 /// One message the data plane considers unstable at a view change: content
 /// plus its sequence number if it has one (-1 when unsequenced).
 struct UnstableEntry {
-  abcast::AppMessagePtr msg;
+  abcast::AppMessagePtr msg = nullptr;
   std::int64_t seqnum = -1;
 };
 

@@ -1,11 +1,18 @@
 // Message and addressing primitives shared by all protocol layers.
 //
-// A message carries an immutable, shared payload.  Layers dispatch on the
-// protocol id; the payload's dynamic type is protocol-private.
+// A message carries an immutable payload allocated from the owning
+// System's PayloadArena (see net/arena.hpp): payloads are plain pointers,
+// shared by every receiver of a multicast (zero-copy fan-out, no refcount
+// traffic) and freed wholesale when the run's arena is destroyed.
+//
+// Payload dispatch is static: every payload type carries a (protocol,
+// kind) tag — the protocol that owns it plus a protocol-private kind
+// enum value — and payload_cast<T> checks the tag and static_casts.  No
+// virtual dispatch, no RTTI.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 namespace fdgm::net {
@@ -31,29 +38,60 @@ enum class ProtocolId : std::uint8_t {
 
 inline constexpr std::size_t kProtocolCount = static_cast<std::size_t>(ProtocolId::kCount);
 
-/// Base class for protocol payloads.  Payloads are immutable once sent and
-/// shared between all receivers of a multicast (zero-copy fan-out).
+/// Base class for protocol payloads.  Non-virtual: the concrete type is
+/// identified by the (protocol, kind) tag set at construction.  Each
+/// concrete payload type declares
+///     static constexpr ProtocolId kProto = ...;
+///     static constexpr std::uint8_t kKind = ...;
+/// with a kind unique within its protocol (kinds >= 32 are reserved for
+/// test-local payloads).  Payloads are immutable once sent and shared
+/// between all receivers of a multicast.
 class Payload {
  public:
-  Payload() = default;
+  [[nodiscard]] ProtocolId payload_proto() const { return proto_; }
+  [[nodiscard]] std::uint8_t payload_kind() const { return kind_; }
+
+ protected:
+  constexpr Payload(ProtocolId proto, std::uint8_t kind) : proto_(proto), kind_(kind) {}
   Payload(const Payload&) = default;
   Payload& operator=(const Payload&) = default;
-  virtual ~Payload() = default;
+  ~Payload() = default;  // never destroyed through the base
+
+ private:
+  ProtocolId proto_;
+  std::uint8_t kind_;
 };
 
-using PayloadPtr = std::shared_ptr<const Payload>;
+using PayloadPtr = const Payload*;
+
+/// Concrete payload for callers that only need an opaque token (tests,
+/// benches, examples).
+class BlankPayload final : public Payload {
+ public:
+  static constexpr ProtocolId kProto = ProtocolId::kApplication;
+  static constexpr std::uint8_t kKind = 0;
+  BlankPayload() : Payload(kProto, kKind) {}
+};
 
 struct Message {
   ProcessId src = 0;
   ProcessId dst = 0;  // kBroadcast for multicast
   ProtocolId proto = ProtocolId::kApplication;
-  PayloadPtr payload;
+  PayloadPtr payload = nullptr;
 };
 
-/// Downcast helper: returns nullptr when the payload has a different type.
+/// Tag-checked downcast: returns nullptr when the payload has a different
+/// (protocol, kind) tag.
+template <typename T>
+const T* payload_cast(PayloadPtr p) {
+  return p != nullptr && p->payload_proto() == T::kProto && p->payload_kind() == T::kKind
+             ? static_cast<const T*>(p)
+             : nullptr;
+}
+
 template <typename T>
 const T* payload_cast(const Message& m) {
-  return dynamic_cast<const T*>(m.payload.get());
+  return payload_cast<T>(m.payload);
 }
 
 }  // namespace fdgm::net

@@ -6,8 +6,8 @@
 
 namespace fdgm::net {
 
-Network::Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, DeliverFn deliver)
-    : sched_(&sched), cfg_(cfg), wire_(sched, "network"), deliver_(std::move(deliver)) {
+Network::Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, Sink& sink)
+    : sched_(&sched), cfg_(cfg), wire_(sched, "network"), sink_(&sink) {
   if (num_processes <= 0) throw std::invalid_argument("Network: need at least one process");
   if (cfg_.lambda < 0) throw std::invalid_argument("Network: negative lambda");
   if (cfg_.network_time <= 0) throw std::invalid_argument("Network: network_time must be > 0");
@@ -16,41 +16,70 @@ Network::Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, De
     cpus_.push_back(std::make_unique<Resource>(sched, "cpu" + std::to_string(i)));
 }
 
-void Network::submit(const Message& m, const std::vector<ProcessId>& dsts) {
-  bool self = false;
-  std::vector<ProcessId> remote;
-  remote.reserve(dsts.size());
-  for (ProcessId d : dsts) {
-    if (d < 0 || d >= num_processes()) throw std::out_of_range("Network::submit: bad destination");
-    if (d == m.src)
-      self = true;
-    else
-      remote.push_back(d);
+std::uint32_t Network::acquire_list() {
+  if (free_list_head_ != kNoList) {
+    const std::uint32_t idx = free_list_head_;
+    free_list_head_ = lists_[idx].next_free;
+    lists_[idx].dsts.clear();
+    return idx;
   }
-  if (m.src < 0 || m.src >= num_processes()) throw std::out_of_range("Network::submit: bad source");
-
-  // Stage 1: send-side CPU processing.
-  cpus_[static_cast<std::size_t>(m.src)]->enqueue(cfg_.lambda, [this, m, remote = std::move(remote), self] {
-    if (self) {
-      // Local loopback: no network, no extra CPU job.
-      Message copy = m;
-      copy.dst = m.src;
-      ++delivered_;
-      if (tap_) tap_(copy, m.src);
-      deliver_(copy, m.src);
-    }
-    if (!remote.empty()) {
-      // Stage 2: one slot on the shared medium regardless of fan-out.
-      wire_.enqueue(cfg_.network_time * delay_factor_,
-                    [this, m, remote] { on_wire_done(m, remote); });
-    }
-  });
+  lists_.emplace_back();
+  return static_cast<std::uint32_t>(lists_.size() - 1);
 }
 
-void Network::on_wire_done(const Message& m, const std::vector<ProcessId>& remote) {
+void Network::release_list(std::uint32_t idx) {
+  lists_[idx].next_free = free_list_head_;
+  free_list_head_ = idx;
+}
+
+bool Network::submit(const Message& m, const ProcessId* dsts, std::size_t count,
+                     bool loopback_self) {
+  if (m.src < 0 || m.src >= num_processes()) throw std::out_of_range("Network::submit: bad source");
+  bool self = false;
+  std::uint32_t list = kNoList;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ProcessId d = dsts[i];
+    if (d < 0 || d >= num_processes()) {
+      if (list != kNoList) release_list(list);
+      throw std::out_of_range("Network::submit: bad destination");
+    }
+    if (d == m.src) {
+      self = self || loopback_self;
+      continue;
+    }
+    if (list == kNoList) list = acquire_list();
+    lists_[list].dsts.push_back(d);
+  }
+  if (!self && list == kNoList) return false;  // no effective destination
+
+  // Stage 1: send-side CPU processing.
+  cpus_[static_cast<std::size_t>(m.src)]->enqueue(
+      cfg_.lambda, [this, m, list, self] { on_send_done(m, list, self); });
+  return true;
+}
+
+void Network::on_send_done(const Message& m, std::uint32_t list, bool self) {
+  if (self) {
+    // Local loopback: no network, no extra CPU job.
+    Message copy = m;
+    copy.dst = m.src;
+    ++delivered_;
+    if (tap_) tap_(copy, m.src);
+    sink_->deliver_message(copy, m.src);
+  }
+  if (list != kNoList) {
+    // Stage 2: one slot on the shared medium regardless of fan-out.
+    wire_.enqueue(cfg_.network_time * delay_factor_,
+                  [this, m, list] { on_wire_done(m, list); });
+  }
+}
+
+void Network::on_wire_done(const Message& m, std::uint32_t list) {
   // Fault filter, then stage 3: receive-side CPU processing, one job per
-  // destination host.
-  for (ProcessId d : remote) filter_or_deliver(m, d);
+  // destination host.  filter_or_deliver only enqueues (no user callbacks
+  // run synchronously), so the pooled list stays stable while we iterate.
+  for (ProcessId d : lists_[list].dsts) filter_or_deliver(m, d);
+  release_list(list);
 }
 
 /// The fault-filter stage proper: hold across a partition, drop with the
@@ -71,13 +100,15 @@ void Network::filter_or_deliver(const Message& m, ProcessId d) {
 }
 
 void Network::deliver_via_cpu(const Message& m, ProcessId d) {
-  cpus_[static_cast<std::size_t>(d)]->enqueue(cfg_.lambda, [this, m, d] {
-    Message copy = m;
-    copy.dst = d;
-    ++delivered_;
-    if (tap_) tap_(copy, d);
-    deliver_(copy, d);
-  });
+  cpus_[static_cast<std::size_t>(d)]->enqueue(cfg_.lambda,
+                                              [this, m, d] { finish_delivery(m, d); });
+}
+
+void Network::finish_delivery(Message m, ProcessId d) {
+  m.dst = d;
+  ++delivered_;
+  if (tap_) tap_(m, d);
+  sink_->deliver_message(m, d);
 }
 
 void Network::set_partition(const std::vector<std::vector<ProcessId>>& groups) {

@@ -9,6 +9,11 @@
 // (Ethernet-style broadcast medium).  Self-destined copies bypass the
 // network: they are delivered when the send-side CPU processing completes.
 //
+// Steady-state transmission is allocation-free: pipeline stages capture
+// the POD Message by value in slab-stored scheduler callbacks, the remote
+// destination set lives in a pooled, capacity-reusing list, and finished
+// deliveries go to a direct Sink interface pointer (no std::function).
+//
 // Crash semantics (software crash): jobs already accepted by a CPU or
 // queued behind it complete normally; the Node stops submitting new sends
 // and stops receiving deliveries (see Node::crash).
@@ -50,19 +55,33 @@ struct NetworkConfig {
 
 class Network {
  public:
-  /// `deliver` is invoked when a message reaches a destination process
-  /// (after its receive-side CPU processing).  The callee decides whether
-  /// the process is still alive.
-  using DeliverFn = std::function<void(const Message&, ProcessId dst)>;
+  /// Receiver of finished deliveries: invoked when a message reaches a
+  /// destination process (after its receive-side CPU processing).  The
+  /// callee decides whether the process is still alive.
+  class Sink {
+   public:
+    virtual void deliver_message(const Message& m, ProcessId dst) = 0;
 
-  Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, DeliverFn deliver);
+   protected:
+    ~Sink() = default;
+  };
+
+  Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, Sink& sink);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   /// Submit a message for transmission to an explicit destination list.
-  /// Destinations equal to `m.src` are served via local loopback.
-  void submit(const Message& m, const std::vector<ProcessId>& dsts);
+  /// Destinations equal to `m.src` are served via local loopback when
+  /// `loopback_self` is true and skipped entirely otherwise (for protocol
+  /// layers that deliver their own copy locally).  Returns true when at
+  /// least one destination was accepted — i.e. a send-side CPU job was
+  /// enqueued.
+  bool submit(const Message& m, const ProcessId* dsts, std::size_t count,
+              bool loopback_self = true);
+  bool submit(const Message& m, const std::vector<ProcessId>& dsts, bool loopback_self = true) {
+    return submit(m, dsts.data(), dsts.size(), loopback_self);
+  }
 
   [[nodiscard]] int num_processes() const { return static_cast<int>(cpus_.size()); }
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
@@ -106,17 +125,33 @@ class Network {
   [[nodiscard]] std::uint64_t held_deliveries() const { return held_total_; }
 
  private:
-  void on_wire_done(const Message& m, const std::vector<ProcessId>& remote);
+  static constexpr std::uint32_t kNoList = UINT32_MAX;
+
+  /// Pooled remote-destination list: the capacity is reused across
+  /// transmissions, so steady-state multicasts never allocate.
+  struct DstList {
+    std::vector<ProcessId> dsts;
+    std::uint32_t next_free = 0;
+  };
+
+  void on_send_done(const Message& m, std::uint32_t list, bool self);
+  void on_wire_done(const Message& m, std::uint32_t list);
   void filter_or_deliver(const Message& m, ProcessId d);
   void deliver_via_cpu(const Message& m, ProcessId d);
+  void finish_delivery(Message m, ProcessId d);
+  std::uint32_t acquire_list();
+  void release_list(std::uint32_t idx);
 
   sim::Scheduler* sched_;
   NetworkConfig cfg_;
   Resource wire_;
   std::vector<std::unique_ptr<Resource>> cpus_;
-  DeliverFn deliver_;
+  Sink* sink_;
   std::function<void(const Message&, ProcessId)> tap_;
   std::uint64_t delivered_ = 0;
+
+  std::vector<DstList> lists_;
+  std::uint32_t free_list_head_ = kNoList;
 
   /// Partition group of each process; empty when no partition is active.
   std::vector<int> group_of_;

@@ -1,7 +1,6 @@
 #include "net/node.hpp"
 
 #include <stdexcept>
-#include <utility>
 
 #include "net/system.hpp"
 
@@ -13,21 +12,29 @@ void Node::register_handler(ProtocolId proto, Layer* layer) {
 
 void Node::send(ProcessId dst, ProtocolId proto, PayloadPtr payload) {
   if (crashed_) return;
-  Message m{id_, dst, proto, std::move(payload)};
+  Message m{id_, dst, proto, payload};
   ++sent_;
-  sys_->network().submit(m, {dst});
+  sys_->network().submit(m, &dst, 1);
 }
 
 void Node::multicast(const std::vector<ProcessId>& dsts, ProtocolId proto, PayloadPtr payload) {
   if (crashed_) return;
   if (dsts.empty()) return;
-  Message m{id_, kBroadcast, proto, std::move(payload)};
+  Message m{id_, kBroadcast, proto, payload};
   ++sent_;
   sys_->network().submit(m, dsts);
 }
 
+void Node::multicast_others(const std::vector<ProcessId>& dsts, ProtocolId proto,
+                            PayloadPtr payload) {
+  if (crashed_) return;
+  if (dsts.empty()) return;
+  Message m{id_, kBroadcast, proto, payload};
+  if (sys_->network().submit(m, dsts, /*loopback_self=*/false)) ++sent_;
+}
+
 void Node::multicast_all(ProtocolId proto, PayloadPtr payload) {
-  multicast(sys_->all(), proto, std::move(payload));
+  multicast(sys_->all(), proto, payload);
 }
 
 void Node::crash() {

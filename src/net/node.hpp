@@ -43,8 +43,16 @@ class Node {
   /// (a dead process submits no new work to its CPU).
   void send(ProcessId dst, ProtocolId proto, PayloadPtr payload);
 
-  /// Multicast to an explicit destination set (may include self).
+  /// Multicast to an explicit destination set (may include self; the self
+  /// copy is served via local loopback).
   void multicast(const std::vector<ProcessId>& dsts, ProtocolId proto, PayloadPtr payload);
+
+  /// Multicast to every listed destination except this process, with no
+  /// loopback copy — for protocol layers that deliver locally themselves.
+  /// Lets callers pass a stable membership vector directly instead of
+  /// building a self-excluding copy per send.  A no-op (not even a
+  /// send-side CPU job) when no destination other than self remains.
+  void multicast_others(const std::vector<ProcessId>& dsts, ProtocolId proto, PayloadPtr payload);
 
   /// Multicast to every process in the system, including self.
   void multicast_all(ProtocolId proto, PayloadPtr payload);

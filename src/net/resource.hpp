@@ -7,11 +7,17 @@
 // jobs are enqueued at their physical arrival instant (the simulation
 // schedules an event per pipeline stage), a busy-until accumulator gives
 // exact FIFO queueing semantics.
+//
+// enqueue() forwards the completion callable straight into the scheduler's
+// callback slab (no std::function wrapper), so a pipeline stage costs no
+// heap allocation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "sim/scheduler.hpp"
 
@@ -26,10 +32,18 @@ class Resource {
   /// previously enqueued jobs finish; `on_done` fires at completion.
   /// A zero service time completes at the current busy-until frontier
   /// (still serialized after earlier jobs).
-  void enqueue(double service_time, std::function<void()> on_done);
+  template <typename F>
+  void enqueue(double service_time, F&& on_done) {
+    if (service_time < 0) throw std::invalid_argument("Resource::enqueue: negative service time");
+    const sim::Time start = std::max(sched_->now(), free_at_);
+    free_at_ = start + service_time;
+    busy_time_ += service_time;
+    ++jobs_;
+    sched_->schedule_at(free_at_, std::forward<F>(on_done));
+  }
 
   /// Time at which the resource next becomes idle (== now when idle).
-  [[nodiscard]] sim::Time busy_until() const;
+  [[nodiscard]] sim::Time busy_until() const { return std::max(sched_->now(), free_at_); }
 
   /// Cumulative busy time, for utilization accounting in tests/benches.
   [[nodiscard]] double busy_time() const { return busy_time_; }

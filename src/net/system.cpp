@@ -6,9 +6,9 @@ namespace fdgm::net {
 
 System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed) : rng_(seed) {
   if (num_processes <= 0) throw std::invalid_argument("System: need at least one process");
-  network_ = std::make_unique<Network>(
-      sched_, num_processes, cfg,
-      [this](const Message& m, ProcessId dst) { node(dst).deliver(m); });
+  // Plain new: the System& -> Network::Sink& conversion is only
+  // accessible inside System (private base), not from std::make_unique.
+  network_.reset(new Network(sched_, num_processes, cfg, *this));
   nodes_.reserve(static_cast<std::size_t>(num_processes));
   all_.reserve(static_cast<std::size_t>(num_processes));
   for (int i = 0; i < num_processes; ++i) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/message.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -17,7 +18,7 @@
 
 namespace fdgm::net {
 
-class System {
+class System : private Network::Sink {
  public:
   System(int num_processes, NetworkConfig cfg, std::uint64_t seed);
 
@@ -36,6 +37,10 @@ class System {
 
   /// The master RNG for this run; components fork sub-streams off it.
   [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// The run's payload arena: every payload sent through this system is
+  /// allocated here and lives until the System is destroyed.
+  [[nodiscard]] PayloadArena& arena() { return arena_; }
 
   /// All process ids, 0..n-1.
   [[nodiscard]] const std::vector<ProcessId>& all() const { return all_; }
@@ -69,8 +74,12 @@ class System {
   }
 
  private:
+  // Network::Sink — finished deliveries are routed to the target Node.
+  void deliver_message(const Message& m, ProcessId dst) override { node(dst).deliver(m); }
+
   sim::Scheduler sched_;
   sim::Rng rng_;
+  PayloadArena arena_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<ProcessId> all_;

@@ -23,12 +23,13 @@ void ReliableBroadcast::register_client(int tag, DeliverFn fn) {
 }
 
 void ReliableBroadcast::broadcast(int tag, net::PayloadPtr inner) {
-  broadcast_group(tag, {}, std::move(inner));
+  broadcast_group(tag, {}, inner);
 }
 
 void ReliableBroadcast::broadcast_group(int tag, const std::vector<net::ProcessId>& group,
                                         net::PayloadPtr inner) {
-  auto p = std::make_shared<RbPayload>(RbId{self_, next_seq_++}, tag, std::move(inner), group);
+  const RbPayload* p =
+      sys_->arena().make<RbPayload>(RbId{self_, next_seq_++}, tag, inner, group);
   // Deliver locally first (counts as the self copy of the multicast), then
   // put one multicast on the wire.  handle() is idempotent, so the self
   // copy delivered by the network later is ignored.
@@ -38,19 +39,19 @@ void ReliableBroadcast::broadcast_group(int tag, const std::vector<net::ProcessI
 }
 
 void ReliableBroadcast::on_message(const net::Message& m) {
-  auto p = std::dynamic_pointer_cast<const RbPayload>(m.payload);
-  if (!p) throw std::logic_error("ReliableBroadcast: foreign payload");
+  const RbPayload* p = net::payload_cast<RbPayload>(m);
+  if (p == nullptr) throw std::logic_error("ReliableBroadcast: foreign payload");
   handle(p);
 }
 
 void ReliableBroadcast::release(const RbId& id) {
   auto it = seen_.find(id);
-  if (it == seen_.end() || !it->second.payload) return;
+  if (it == seen_.end() || it->second.payload == nullptr) return;
   it->second.payload = nullptr;
   --retained_;
 }
 
-void ReliableBroadcast::handle(const std::shared_ptr<const RbPayload>& p) {
+void ReliableBroadcast::handle(const RbPayload* p) {
   auto [it, inserted] = seen_.try_emplace(p->id, Seen{p, false});
   if (!inserted) return;  // duplicate (relay or self copy)
   ++retained_;
@@ -66,7 +67,7 @@ void ReliableBroadcast::on_suspect(net::ProcessId s) {
   if (!cfg_.relay_on_suspicion) return;
   // Relay every message of origin s that we have and have not relayed yet.
   for (auto& [id, entry] : seen_) {
-    if (id.origin != s || entry.relayed || !entry.payload) continue;
+    if (id.origin != s || entry.relayed || entry.payload == nullptr) continue;
     entry.relayed = true;
     ++relays_;
     const std::vector<net::ProcessId>& dsts =

@@ -13,9 +13,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "fd/failure_detector.hpp"
@@ -44,8 +42,15 @@ struct RbIdHash {
 /// and a tag distinguishing which upper-layer client sent it.
 class RbPayload final : public net::Payload {
  public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kReliableBroadcast;
+  static constexpr std::uint8_t kKind = 0;
+
   RbPayload(RbId id, int client_tag, net::PayloadPtr inner, std::vector<net::ProcessId> group)
-      : id(id), client_tag(client_tag), inner(std::move(inner)), group(std::move(group)) {}
+      : Payload(kProto, kKind),
+        id(id),
+        client_tag(client_tag),
+        inner(inner),
+        group(std::move(group)) {}
 
   RbId id;
   int client_tag;
@@ -74,7 +79,7 @@ struct RbConfig {
 class ReliableBroadcast final : public net::Layer, public fd::SuspicionListener {
  public:
   using DeliverFn =
-      std::function<void(const RbId& id, net::ProcessId origin, const net::PayloadPtr&)>;
+      std::function<void(const RbId& id, net::ProcessId origin, net::PayloadPtr inner)>;
 
   ReliableBroadcast(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
                     RbConfig cfg = {});
@@ -103,7 +108,8 @@ class ReliableBroadcast final : public net::Layer, public fd::SuspicionListener 
 
   /// Garbage collection: the upper layer declares the message stable (it
   /// no longer needs to be relayed on suspicion).  Duplicate suppression
-  /// is preserved; only the retained payload is dropped.
+  /// is preserved; only the retained payload reference is dropped (the
+  /// payload itself lives in the run's arena until the run ends).
   void release(const RbId& id);
 
   /// Number of payloads currently retained for potential relay.
@@ -111,11 +117,11 @@ class ReliableBroadcast final : public net::Layer, public fd::SuspicionListener 
 
  private:
   struct Seen {
-    std::shared_ptr<const RbPayload> payload;  // kept for relaying
+    const RbPayload* payload = nullptr;  // kept for relaying
     bool relayed = false;
   };
 
-  void handle(const std::shared_ptr<const RbPayload>& p);
+  void handle(const RbPayload* p);
 
   net::System* sys_;
   net::ProcessId self_;

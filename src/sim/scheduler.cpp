@@ -1,40 +1,91 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
-#include <stdexcept>
-#include <utility>
-
 namespace fdgm::sim {
 
-EventId Scheduler::schedule_at(Time t, Callback cb) {
-  if (t < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
-  EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(cb)});
-  return id;
+Scheduler::~Scheduler() {
+  // Destroy callables of events never executed nor cancelled.
+  for (Slot& sl : slots_)
+    if (sl.run != nullptr) sl.destroy(sl);
 }
 
-EventId Scheduler::schedule_after(Time delay, Callback cb) {
-  if (delay < 0) throw std::invalid_argument("Scheduler::schedule_after: negative delay");
-  return schedule_at(now_ + delay, std::move(cb));
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t idx) {
+  Slot& sl = slots_[idx];
+  sl.run = nullptr;
+  sl.destroy = nullptr;
+  ++sl.gen;  // stale heap records / EventIds stop matching
+  sl.next_free = free_head_;
+  free_head_ = idx;
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy deletion: remember the id; the heap entry is dropped when popped.
-  return cancelled_.insert(id).second;
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size()) return false;
+  Slot& sl = slots_[idx];
+  if (sl.run == nullptr || sl.gen != gen) return false;
+  sl.destroy(sl);
+  release_slot(idx);
+  --live_;
+  return true;
 }
 
-bool Scheduler::pop_next(Event& out) {
+void Scheduler::sift_up(std::size_t i) {
+  HeapRec rec = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(rec, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = rec;
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapRec rec = heap_[i];
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], rec)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = rec;
+}
+
+void Scheduler::heap_push(HeapRec rec) {
+  heap_.push_back(rec);
+  sift_up(heap_.size() - 1);
+}
+
+void Scheduler::heap_pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+bool Scheduler::pop_next(HeapRec& out) {
   while (!heap_.empty()) {
-    // priority_queue::top returns const&; we must copy the callback anyway
-    // because pop() destroys the node.
-    out = heap_.top();
-    heap_.pop();
-    auto it = cancelled_.find(out.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    const HeapRec rec = heap_.front();
+    heap_pop_root();
+    // A slot generation mismatch marks a cancelled (or already reused)
+    // event: drop the stale record.
+    if (slots_[rec.slot].run == nullptr || slots_[rec.slot].gen != rec.gen) continue;
+    out = rec;
     return true;
   }
   return false;
@@ -42,12 +93,13 @@ bool Scheduler::pop_next(Event& out) {
 
 bool Scheduler::step() {
   if (stopped_) return false;
-  Event ev;
-  if (!pop_next(ev)) return false;
-  assert(ev.t >= now_);
-  now_ = ev.t;
+  HeapRec rec;
+  if (!pop_next(rec)) return false;
+  assert(rec.t >= now_);
+  now_ = rec.t;
   ++executed_;
-  ev.cb();
+  --live_;
+  slots_[rec.slot].run(*this, rec.slot);
   return true;
 }
 
@@ -59,18 +111,19 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
 
 std::uint64_t Scheduler::run_until(Time t) {
   std::uint64_t n = 0;
-  Event ev;
+  HeapRec rec;
   while (!stopped_) {
-    if (!pop_next(ev)) break;
-    if (ev.t > t) {
-      // Not due yet: put it back (cheap; preserves id so FIFO order holds).
-      heap_.push(std::move(ev));
+    if (!pop_next(rec)) break;
+    if (rec.t > t) {
+      // Not due yet: put it back (preserves seq, so FIFO order holds).
+      heap_push(rec);
       break;
     }
-    now_ = ev.t;
+    now_ = rec.t;
     ++executed_;
     ++n;
-    ev.cb();
+    --live_;
+    slots_[rec.slot].run(*this, rec.slot);
   }
   if (!stopped_ && now_ < t) now_ = t;
   return n;

@@ -2,14 +2,29 @@
 //
 // Single-threaded, deterministic: events at equal timestamps execute in
 // insertion order (FIFO), which makes every simulation reproducible given
-// the same seed.  Events are arbitrary callbacks; cancellation is O(1)
-// (lazy deletion from the heap).
+// the same seed.
+//
+// The event core is allocation-free in steady state:
+//  * the pending queue is a 4-ary min-heap of POD records (time, FIFO
+//    sequence, slot, generation) over one reusable vector — shallower and
+//    more cache-friendly than a binary heap, no node allocations;
+//  * callbacks live in a slab of fixed slots with inline small-buffer
+//    storage and a freelist; callables that fit the inline buffer (every
+//    hot-path closure in the simulator) never touch the heap, oversized
+//    ones fall back to a single allocation;
+//  * EventIds are generation-counted slot handles, so cancel() is O(1)
+//    with no hash set: it destroys the callback, bumps the slot
+//    generation, and the stale heap record is skipped when popped.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -17,26 +32,47 @@
 namespace fdgm::sim {
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes (slot generation << 32 | slot index); 0 is never returned.
 using EventId = std::uint64_t;
 
 class Scheduler {
  public:
+  /// Convenience alias for callers that need to store a callback; any
+  /// move-constructible callable works with schedule_at/schedule_after.
   using Callback = std::function<void()>;
+
+  /// Callables at most this large (and no more aligned than
+  /// max_align_t) are stored inline in the slab — no heap allocation.
+  static constexpr std::size_t kInlineCallbackBytes = 48;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
 
   /// Current simulated time.  Starts at kTimeZero.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `t`.  `t` must be >= now().
-  EventId schedule_at(Time t, Callback cb);
+  /// Schedule `f` at absolute time `t`.  `t` must be >= now().
+  template <typename F>
+  EventId schedule_at(Time t, F&& f) {
+    if (t < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+    const std::uint32_t slot = emplace_callback(std::forward<F>(f));
+    heap_.push_back(HeapRec{t, next_seq_++, slot, slots_[slot].gen});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    return make_id(slots_[slot].gen, slot);
+  }
 
-  /// Schedule `cb` `delay` time units from now.  `delay` must be >= 0.
-  EventId schedule_after(Time delay, Callback cb);
+  /// Schedule `f` `delay` time units from now.  `delay` must be >= 0.
+  template <typename F>
+  EventId schedule_after(Time delay, F&& f) {
+    if (delay < 0) throw std::invalid_argument("Scheduler::schedule_after: negative delay");
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
 
   /// Cancel a pending event.  Returns true if the event was still pending.
+  /// O(1): the callback is destroyed now, the heap record lazily dropped.
   bool cancel(EventId id);
 
   /// Execute the next pending event, advancing time.  Returns false when
@@ -60,32 +96,105 @@ class Scheduler {
   /// Resets the stop flag so that run() can be called again.
   void clear_stop() { stopped_ = false; }
 
-  /// Number of events currently pending (including lazily cancelled ones
-  /// not yet popped).
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Number of events currently pending (cancelled ones excluded).
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Total number of events executed so far.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
+  /// POD heap record; `seq` breaks timestamp ties FIFO.
+  struct HeapRec {
     Time t{};
-    EventId id{};
-    Callback cb;
+    std::uint64_t seq{};
+    std::uint32_t slot{};
+    std::uint32_t gen{};
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among equal timestamps
+
+  struct Slot;
+  /// Relocates the callable out of the slot, releases the slot (so the
+  /// callable may schedule into it again) and invokes.
+  using RunFn = void (*)(Scheduler&, std::uint32_t slot);
+  /// Destroys the callable in place (cancellation / scheduler teardown).
+  using DestroyFn = void (*)(Slot&);
+
+  struct Slot {
+    alignas(std::max_align_t) std::byte storage[kInlineCallbackBytes];
+    RunFn run = nullptr;  // null = slot free
+    DestroyFn destroy = nullptr;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = 0;
+  };
+
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  template <typename F>
+  struct InlineOps {
+    static void run(Scheduler& s, std::uint32_t idx) {
+      Slot& sl = s.slots_[idx];
+      F f(std::move(*std::launder(reinterpret_cast<F*>(sl.storage))));
+      destroy(sl);
+      s.release_slot(idx);  // nested schedule_* calls may reuse it
+      f();
     }
+    static void destroy(Slot& sl) { std::launder(reinterpret_cast<F*>(sl.storage))->~F(); }
   };
 
-  bool pop_next(Event& out);
+  template <typename F>
+  struct HeapOps {
+    static void run(Scheduler& s, std::uint32_t idx) {
+      F* p = *std::launder(reinterpret_cast<F**>(s.slots_[idx].storage));
+      s.release_slot(idx);
+      (*p)();
+      delete p;
+    }
+    static void destroy(Slot& sl) { delete *std::launder(reinterpret_cast<F**>(sl.storage)); }
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  template <typename F>
+  std::uint32_t emplace_callback(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>, "Scheduler callback must be invocable");
+    const std::uint32_t idx = acquire_slot();
+    Slot& sl = slots_[idx];
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(sl.storage)) Fn(std::forward<F>(f));
+      sl.run = &InlineOps<Fn>::run;
+      sl.destroy = &InlineOps<Fn>::destroy;
+    } else {
+      *reinterpret_cast<Fn**>(sl.storage) = new Fn(std::forward<F>(f));
+      sl.run = &HeapOps<Fn>::run;
+      sl.destroy = &HeapOps<Fn>::destroy;
+    }
+    return idx;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+
+  /// Heap order: earliest (t, seq) at the root.
+  static bool before(const HeapRec& a, const HeapRec& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_push(HeapRec rec);
+  void heap_pop_root();
+
+  /// Pops the next live event into `out`; false when none remain.
+  bool pop_next(HeapRec& out);
+
+  std::vector<HeapRec> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
   Time now_ = kTimeZero;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };

@@ -1,0 +1,76 @@
+// Golden-seed determinism: one FD and one GM steady-state run (n = 5,
+// wrong suspicions on, fixed seed) must reproduce the exact delivery
+// sequence — process, message id, broadcast time and delivery time of
+// every local A-delivery, in global event order — that the pre-refactor
+// event core produced.  The committed hashes were captured from the PR-2
+// core; any accidental change to event ordering (scheduler FIFO ties,
+// network pipeline stage order, payload handling) shows up here long
+// before it would surface as a drifting results CSV.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/experiment.hpp"
+
+namespace fdgm::core {
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+std::uint64_t delivery_hash(Algorithm algo) {
+  SimConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n = 5;
+  cfg.seed = 424242;
+  cfg.fd_params.detection_time = 30.0;
+  cfg.fd_params.wrong_suspicions = true;
+  cfg.fd_params.mistake_recurrence = 2000.0;
+  cfg.fd_params.mistake_duration = 50.0;
+  SimRun run(cfg, WorkloadConfig{.throughput = 200.0});
+  Fnv f;
+  for (int p = 0; p < cfg.n; ++p) {
+    run.proc(p).set_deliver_callback([&f, &run, p](const abcast::AppMessage& m) {
+      f.mix(static_cast<std::uint64_t>(p));
+      f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.id.origin)));
+      f.mix(m.id.seq);
+      f.mix(std::bit_cast<std::uint64_t>(m.sent_at));
+      f.mix(std::bit_cast<std::uint64_t>(run.system().now()));
+    });
+  }
+  run.start();
+  run.run_until(3000.0);
+  f.mix(run.system().scheduler().executed());
+  return f.h;
+}
+
+// Captured from the pre-refactor (PR-2) core at the same config; see the
+// file comment.  If a change legitimately alters event ordering, recapture
+// both constants and say so loudly in the PR.
+constexpr std::uint64_t kGoldenFd = 0xbe21fd2abfc47b91ULL;
+constexpr std::uint64_t kGoldenGm = 0x04be61f21cc65d6eULL;
+
+TEST(GoldenSeed, FdDeliverySequenceMatchesPreRefactorCore) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd), kGoldenFd);
+}
+
+TEST(GoldenSeed, GmDeliverySequenceMatchesPreRefactorCore) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm), kGoldenGm);
+}
+
+// The hash must also be invariant to repetition within one process (no
+// hidden global state in the refactored core).
+TEST(GoldenSeed, HashIsStableAcrossRepeatedRuns) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd), delivery_hash(Algorithm::kFd));
+}
+
+}  // namespace
+}  // namespace fdgm::core

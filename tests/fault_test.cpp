@@ -96,7 +96,7 @@ struct NetFixture {
       sys.node(i).register_handler(net::ProtocolId::kApplication, counters.back().get());
     }
   }
-  net::PayloadPtr payload() { return std::make_shared<net::Payload>(); }
+  net::PayloadPtr payload() { return sys.arena().make<net::BlankPayload>(); }
 
   net::System sys;
   std::vector<std::unique_ptr<Counter>> counters;

@@ -25,6 +25,15 @@ class Recorder final : public Layer {
   System* sys_;
 };
 
+/// Oversized payload for the timing-independence test.
+class BigPayload final : public Payload {
+ public:
+  static constexpr ProtocolId kProto = ProtocolId::kApplication;
+  static constexpr std::uint8_t kKind = 32;
+  BigPayload() : Payload(kProto, kKind) {}
+  std::vector<int> blob = std::vector<int>(1000, 7);
+};
+
 struct Fixture {
   explicit Fixture(int n, double lambda = 1.0) : sys(n, NetworkConfig{lambda, 1.0}, 1) {
     for (int i = 0; i < n; ++i) {
@@ -32,7 +41,7 @@ struct Fixture {
       sys.node(i).register_handler(ProtocolId::kApplication, recorders.back().get());
     }
   }
-  PayloadPtr payload() { return std::make_shared<Payload>(); }
+  PayloadPtr payload() { return sys.arena().make<BlankPayload>(); }
 
   System sys;
   std::vector<std::unique_ptr<Recorder>> recorders;
@@ -223,11 +232,7 @@ TEST(Network, MessageTimingIndependentOfPayloadSize) {
   f.sys.scheduler().run();
   const double t1 = f.recorders[1]->arrivals[0].second;
   Fixture g(2);
-  class Big final : public Payload {
-   public:
-    std::vector<int> blob = std::vector<int>(1000, 7);
-  };
-  g.sys.node(0).send(1, ProtocolId::kApplication, std::make_shared<Big>());
+  g.sys.node(0).send(1, ProtocolId::kApplication, g.sys.arena().make<BigPayload>());
   g.sys.scheduler().run();
   EXPECT_DOUBLE_EQ(g.recorders[1]->arrivals[0].second, t1);
 }

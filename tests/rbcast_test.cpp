@@ -17,7 +17,9 @@ constexpr int kTag = 1;
 
 class Body final : public net::Payload {
  public:
-  explicit Body(int v) : value(v) {}
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kApplication;
+  static constexpr std::uint8_t kKind = 33;
+  explicit Body(int v) : Payload(kProto, kKind), value(v) {}
   int value;
 };
 
@@ -28,9 +30,9 @@ struct Fixture {
       stacks.push_back(std::make_unique<ReliableBroadcast>(sys, i, fd.at(i)));
       auto* log = &deliveries.emplace_back();
       stacks.back()->register_client(
-          kTag, [log](const RbId&, net::ProcessId origin, const net::PayloadPtr& p) {
-            auto b = std::dynamic_pointer_cast<const Body>(p);
-            log->emplace_back(origin, b ? b->value : -1);
+          kTag, [log](const RbId&, net::ProcessId origin, net::PayloadPtr p) {
+            const Body* b = net::payload_cast<Body>(p);
+            log->emplace_back(origin, b != nullptr ? b->value : -1);
           });
     }
     fd.start();
@@ -44,7 +46,7 @@ struct Fixture {
 
 TEST(Rbcast, EveryoneDeliversOnce) {
   Fixture f(4);
-  f.stacks[0]->broadcast(kTag, std::make_shared<Body>(7));
+  f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(7));
   f.sys.scheduler().run();
   for (int p = 0; p < 4; ++p) {
     ASSERT_EQ(f.deliveries[static_cast<std::size_t>(p)].size(), 1u) << p;
@@ -54,7 +56,7 @@ TEST(Rbcast, EveryoneDeliversOnce) {
 
 TEST(Rbcast, FailureFreeCostsOneWireSlot) {
   Fixture f(5);
-  f.stacks[2]->broadcast(kTag, std::make_shared<Body>(1));
+  f.stacks[2]->broadcast(kTag, f.sys.arena().make<Body>(1));
   f.sys.scheduler().run();
   EXPECT_EQ(f.sys.network().network_uses(), 1u);
   for (const auto& st : f.stacks) EXPECT_EQ(st->relays(), 0u);
@@ -62,7 +64,7 @@ TEST(Rbcast, FailureFreeCostsOneWireSlot) {
 
 TEST(Rbcast, SenderDeliversLocallyImmediately) {
   Fixture f(3);
-  f.stacks[0]->broadcast(kTag, std::make_shared<Body>(5));
+  f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(5));
   // Before running the scheduler at all: local delivery already happened.
   EXPECT_EQ(f.deliveries[0].size(), 1u);
   f.sys.scheduler().run();
@@ -71,7 +73,7 @@ TEST(Rbcast, SenderDeliversLocallyImmediately) {
 
 TEST(Rbcast, OrderPreservedPerOrigin) {
   Fixture f(3);
-  for (int i = 0; i < 5; ++i) f.stacks[0]->broadcast(kTag, std::make_shared<Body>(i));
+  for (int i = 0; i < 5; ++i) f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(i));
   f.sys.scheduler().run();
   for (int p = 0; p < 3; ++p) {
     ASSERT_EQ(f.deliveries[static_cast<std::size_t>(p)].size(), 5u);
@@ -84,7 +86,7 @@ TEST(Rbcast, SuspicionTriggersRelay) {
   fd::QosParams qp;
   qp.detection_time = 10.0;
   Fixture f(3, qp);
-  f.stacks[0]->broadcast(kTag, std::make_shared<Body>(3));
+  f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(3));
   f.sys.scheduler().run();
   f.sys.crash(0);
   f.sys.scheduler().run();  // detection at +10ms -> relays fire
@@ -101,7 +103,7 @@ TEST(Rbcast, RelayHappensAtMostOncePerMessage) {
   qp.mistake_recurrence = 50.0;
   qp.mistake_duration = 1.0;
   Fixture f(3, qp);
-  f.stacks[0]->broadcast(kTag, std::make_shared<Body>(3));
+  f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(3));
   f.sys.scheduler().run_until(5000.0);  // many suspicion edges of p0
   EXPECT_LE(f.stacks[1]->relays(), 1u);
   EXPECT_LE(f.stacks[2]->relays(), 1u);
@@ -121,7 +123,7 @@ TEST(Rbcast, ReleasedMessagesAreNotRelayed) {
   });
   f.stacks[0]->register_client(2, [](const RbId&, net::ProcessId, const net::PayloadPtr&) {});
   f.stacks[2]->register_client(2, [](const RbId&, net::ProcessId, const net::PayloadPtr&) {});
-  f.stacks[0]->broadcast(2, std::make_shared<Body>(9));
+  f.stacks[0]->broadcast(2, f.sys.arena().make<Body>(9));
   f.sys.scheduler().run();
   EXPECT_EQ(f.stacks[1]->retained(), 0u);
   f.sys.crash(0);
@@ -132,7 +134,7 @@ TEST(Rbcast, ReleasedMessagesAreNotRelayed) {
 
 TEST(Rbcast, GroupBroadcastReachesGroupOnly) {
   Fixture f(4);
-  f.stacks[0]->broadcast_group(kTag, {0, 1, 2}, std::make_shared<Body>(1));
+  f.stacks[0]->broadcast_group(kTag, {0, 1, 2}, f.sys.arena().make<Body>(1));
   f.sys.scheduler().run();
   EXPECT_EQ(f.deliveries[0].size(), 1u);
   EXPECT_EQ(f.deliveries[1].size(), 1u);
@@ -145,9 +147,9 @@ TEST(Rbcast, DistinctClientTagsAreIsolated) {
   std::vector<int> tag2;
   f.stacks[0]->register_client(2, [](const RbId&, net::ProcessId, const net::PayloadPtr&) {});
   f.stacks[1]->register_client(2, [&](const RbId&, net::ProcessId, const net::PayloadPtr& p) {
-    tag2.push_back(std::dynamic_pointer_cast<const Body>(p)->value);
+    tag2.push_back(net::payload_cast<Body>(p)->value);
   });
-  f.stacks[0]->broadcast(2, std::make_shared<Body>(77));
+  f.stacks[0]->broadcast(2, f.sys.arena().make<Body>(77));
   f.sys.scheduler().run();
   EXPECT_EQ(tag2, (std::vector<int>{77}));
   EXPECT_TRUE(f.deliveries[1].empty());  // kTag client saw nothing
@@ -163,7 +165,7 @@ TEST(Rbcast, DuplicateClientTagRejected) {
 TEST(Rbcast, RetainedCountTracksLifecycle) {
   Fixture f(2);
   EXPECT_EQ(f.stacks[1]->retained(), 0u);
-  f.stacks[0]->broadcast(kTag, std::make_shared<Body>(1));
+  f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(1));
   f.sys.scheduler().run();
   EXPECT_EQ(f.stacks[1]->retained(), 1u);
 }
@@ -171,7 +173,7 @@ TEST(Rbcast, RetainedCountTracksLifecycle) {
 TEST(Rbcast, CrashedReceiverDoesNotDeliver) {
   Fixture f(3);
   f.sys.crash(2);
-  f.stacks[0]->broadcast(kTag, std::make_shared<Body>(4));
+  f.stacks[0]->broadcast(kTag, f.sys.arena().make<Body>(4));
   f.sys.scheduler().run();
   EXPECT_TRUE(f.deliveries[2].empty());
   EXPECT_EQ(f.deliveries[1].size(), 1u);
@@ -181,7 +183,7 @@ TEST(Rbcast, ManyOriginsInterleaved) {
   Fixture f(3);
   for (int round = 0; round < 10; ++round)
     for (int p = 0; p < 3; ++p)
-      f.stacks[static_cast<std::size_t>(p)]->broadcast(kTag, std::make_shared<Body>(round));
+      f.stacks[static_cast<std::size_t>(p)]->broadcast(kTag, f.sys.arena().make<Body>(round));
   f.sys.scheduler().run();
   for (int p = 0; p < 3; ++p) EXPECT_EQ(f.deliveries[static_cast<std::size_t>(p)].size(), 30u);
 }

@@ -1,11 +1,44 @@
 // Unit tests of the discrete-event scheduler: ordering, FIFO ties,
-// cancellation, run_until semantics, stop, and the guard rails.
+// cancellation, run_until semantics, stop, the guard rails, the
+// generation-counted EventId semantics, a 1M-op randomized
+// schedule/cancel/fire stress run (exercised under ASan by the CI
+// sanitize job) and the zero-allocation steady-state guarantee.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/scheduler.hpp"
+
+// GCC pairs the malloc-backed operator new below with the free-backed
+// operator delete across inlining and flags a false mismatch; the pair
+// is consistent by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+// Allocation-counting harness: counts every global operator new in this
+// test binary so the steady-state tests can assert the slab scheduler
+// performs zero heap allocations per event.
+namespace {
+std::uint64_t g_alloc_count = 0;
+}
+void* operator new(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace fdgm::sim {
 namespace {
@@ -166,6 +199,113 @@ TEST(Scheduler, StepReturnsFalseWhenEmpty) {
   s.schedule_at(1.0, [] {});
   EXPECT_TRUE(s.step());
   EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  // Generation counting: once an event fired, its id must never cancel a
+  // later event that happens to reuse the same slab slot.
+  Scheduler s;
+  int fired = 0;
+  EventId a = s.schedule_at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_FALSE(s.cancel(a));
+  EventId b = s.schedule_at(2.0, [&] { ++fired; });  // reuses a's slot
+  EXPECT_FALSE(s.cancel(a));                         // stale id, live slot
+  EXPECT_TRUE(s.cancel(b));
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, OversizedCallbackStillWorks) {
+  // Callables beyond the inline slab buffer take the heap fallback.
+  Scheduler s;
+  struct Big {
+    double blob[16];
+  } big{};
+  big.blob[7] = 42.0;
+  double seen = 0;
+  static_assert(sizeof(Big) > Scheduler::kInlineCallbackBytes);
+  EventId id = s.schedule_at(1.0, [big, &seen] { seen = big.blob[7]; });
+  s.schedule_at(2.0, [big, &seen] { seen += big.blob[7]; });
+  EXPECT_TRUE(s.cancel(id));  // cancellation must destroy the heap copy
+  s.run();
+  EXPECT_EQ(seen, 42.0);
+}
+
+TEST(Scheduler, StressMillionOpsRandomizedCancellation) {
+  // 1M schedule/cancel/fire ops with randomized interleaving: every
+  // scheduled event either fires exactly once or is cancelled exactly
+  // once.  The CI sanitize job runs this under ASan/UBSan, which guards
+  // the slab's placement-new/relocate/destroy paths.
+  Scheduler s;
+  std::mt19937_64 rng(20260729);
+  std::vector<EventId> open;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t hits = 0;
+  constexpr std::uint64_t kOps = 1'000'000;
+  while (scheduled < kOps) {
+    const std::uint64_t burst = 1 + rng() % 8;
+    for (std::uint64_t i = 0; i < burst && scheduled < kOps; ++i) {
+      const double delay = static_cast<double>(rng() % 1000) * 0.1;
+      const std::uint64_t token = scheduled;
+      open.push_back(
+          s.schedule_after(delay, [&hits, token] { hits += 1 + token % 2; }));
+      ++scheduled;
+    }
+    if (!open.empty() && rng() % 4 == 0) {
+      const std::size_t idx = rng() % open.size();
+      if (s.cancel(open[idx])) ++cancelled;
+      open[idx] = open.back();
+      open.pop_back();
+    }
+    if (rng() % 8 == 0) s.run(rng() % 64);  // partial drains interleave
+  }
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.executed(), scheduled - cancelled);
+  EXPECT_GE(hits, s.executed());  // every fired callback ran its body
+}
+
+TEST(Scheduler, SteadyStateZeroHeapAllocationsPerEvent) {
+  Scheduler s;
+  std::uint64_t sink = 0;
+  // Realistic ~40-byte capture, like a network pipeline stage closure.
+  auto burst = [&s, &sink] {
+    Scheduler* sp = &s;
+    for (int i = 0; i < 256; ++i) {
+      const auto a = static_cast<std::uint64_t>(i);
+      s.schedule_after(static_cast<double>(i % 16), [sp, a, &sink] {
+        sink += a + sp->executed();
+      });
+    }
+  };
+  burst();
+  s.run();  // warm-up: heap and slab grow to capacity
+  const std::uint64_t before = g_alloc_count;
+  for (int round = 0; round < 50; ++round) {
+    burst();
+    s.run();
+  }
+  EXPECT_EQ(g_alloc_count - before, 0u) << "scheduler steady state must not allocate";
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(Scheduler, SteadyStateZeroHeapAllocationsWithCancellation) {
+  Scheduler s;
+  std::uint64_t sink = 0;
+  std::vector<EventId> ids(128);
+  auto round = [&] {
+    for (int i = 0; i < 128; ++i)
+      ids[static_cast<std::size_t>(i)] =
+          s.schedule_after(static_cast<double>(i % 16), [&sink] { ++sink; });
+    for (int i = 0; i < 128; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+    s.run();
+  };
+  round();  // warm-up
+  const std::uint64_t before = g_alloc_count;
+  for (int r = 0; r < 50; ++r) round();
+  EXPECT_EQ(g_alloc_count - before, 0u) << "O(1) cancel must not allocate";
 }
 
 }  // namespace
