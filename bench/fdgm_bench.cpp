@@ -9,6 +9,7 @@
 // FDGM_BENCH_QUICK=1 shrinks the replica/sample budget for smoke runs.
 // Results are bit-identical for every --jobs value (replica seeding and
 // row order do not depend on the worker count).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +18,10 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "scenario.hpp"
 
@@ -33,8 +38,25 @@ struct Options {
   std::string out_dir;  // empty: stdout
   bool list = false;
   bool all = false;
+  bool profile = false;
   fault::FaultSchedule faults;
+  sim::SchedulerConfig scheduler;
 };
+
+/// Peak resident set size of this process in MB (0 when unavailable).
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 void print_usage() {
   std::cout <<
@@ -52,6 +74,11 @@ void print_usage() {
       "                    (events: crash/recover p<i> @t; partition {..|..} @t\n"
       "                    heal @t; loss <rate> @t for <dur>; delay x<f> @t for\n"
       "                    <dur>; storm p<i>,.. @t for <dur>; see README)\n"
+      "  --backend B       scheduler backend: heap | wheel (default heap);\n"
+      "                    bit-identical results, different speed profiles\n"
+      "  --profile         append per-scenario wall-clock, events/sec and\n"
+      "                    peak-RSS columns to every table (these columns\n"
+      "                    are machine-dependent, unlike the latencies)\n"
       "  --help            this text\n"
       "\n"
       "Environment:\n"
@@ -88,6 +115,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.list = true;
     } else if (a == "--all") {
       opt.all = true;
+    } else if (a == "--profile") {
+      opt.profile = true;
     } else if (a == "--help" || a == "-h") {
       print_usage();
       std::exit(0);
@@ -124,6 +153,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
       opt.out_dir = v;
+    } else if (a == "--backend") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      if (std::strcmp(v, "heap") == 0)
+        opt.scheduler.backend = sim::SchedulerBackend::kHeap;
+      else if (std::strcmp(v, "wheel") == 0)
+        opt.scheduler.backend = sim::SchedulerBackend::kWheel;
+      else {
+        std::cerr << "fdgm_bench: unknown backend '" << v << "' (heap|wheel)\n";
+        return false;
+      }
     } else if (a == "--faults") {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
@@ -198,6 +238,7 @@ int run(const Options& opt) {
   ctx.jobs = opt.jobs;
   ctx.seed = opt.seed;
   ctx.faults = opt.faults;
+  ctx.scheduler = opt.scheduler;
 
   // One worker pool for the whole invocation: every scenario's fill_rows
   // reuses the same threads instead of spawning a pool per sweep.
@@ -208,7 +249,26 @@ int run(const Options& opt) {
   }
 
   for (const Scenario* s : selected) {
-    const util::Table table = s->run(ctx);
+    const std::uint64_t events0 = core::total_events_executed();
+    const auto wall0 = std::chrono::steady_clock::now();
+    util::Table table = [&]() -> util::Table {
+      try {
+        return s->run(ctx);
+      } catch (const std::exception& e) {
+        std::cerr << "fdgm_bench: scenario '" << s->name << "' failed: " << e.what() << '\n';
+        std::exit(1);
+      }
+    }();
+    if (opt.profile) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+      const std::uint64_t events = core::total_events_executed() - events0;
+      table.add_column("wall [s]", util::Table::cell(wall_s, 2));
+      table.add_column("events", std::to_string(events));
+      table.add_column("Mev/s", util::Table::cell(
+                                    static_cast<double>(events) / wall_s / 1e6, 2));
+      table.add_column("peak RSS [MB]", util::Table::cell(peak_rss_mb(), 1));
+    }
     if (!opt.out_dir.empty()) {
       const std::string path = opt.out_dir + "/" + s->name + "." + extension(opt.format);
       std::ofstream file(path);

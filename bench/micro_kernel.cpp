@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <random>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -58,9 +59,9 @@ namespace {
 
 std::uint64_t g_sink = 0;
 
-void BM_SchedulerScheduleFire(benchmark::State& state) {
+void schedule_fire_kernel(benchmark::State& state, const sim::SchedulerConfig& cfg) {
   const int batch = static_cast<int>(state.range(0));
-  sim::Scheduler s;
+  sim::Scheduler s(cfg);
   // Realistic callback capture (~40 bytes, like a network pipeline stage).
   auto schedule_batch = [&] {
     sim::Scheduler* sp = &s;
@@ -72,8 +73,12 @@ void BM_SchedulerScheduleFire(benchmark::State& state) {
       });
     }
   };
-  schedule_batch();  // warm-up: grow heap/slab capacity
-  s.run();
+  // Warm-up: grow queue/slab capacity (several laps so the wheel's cursor
+  // has visited every bucket it will revisit).
+  for (int r = 0; r < 4; ++r) {
+    schedule_batch();
+    s.run();
+  }
   const std::uint64_t a0 = g_allocs;
   std::int64_t events = 0;
   for (auto _ : state) {
@@ -85,11 +90,20 @@ void BM_SchedulerScheduleFire(benchmark::State& state) {
   state.counters["allocs_per_event"] =
       static_cast<double>(g_allocs - a0) / static_cast<double>(events);
 }
+
+void BM_SchedulerScheduleFire(benchmark::State& state) {
+  schedule_fire_kernel(state, sim::SchedulerConfig{sim::SchedulerBackend::kHeap});
+}
 BENCHMARK(BM_SchedulerScheduleFire)->Arg(1024)->Arg(16384);
 
-void BM_SchedulerScheduleCancelFire(benchmark::State& state) {
+void BM_WheelScheduleFire(benchmark::State& state) {
+  schedule_fire_kernel(state, sim::SchedulerConfig{sim::SchedulerBackend::kWheel});
+}
+BENCHMARK(BM_WheelScheduleFire)->Arg(1024)->Arg(16384);
+
+void schedule_cancel_fire_kernel(benchmark::State& state, const sim::SchedulerConfig& cfg) {
   const int batch = static_cast<int>(state.range(0));
-  sim::Scheduler s;
+  sim::Scheduler s(cfg);
   std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
   auto round = [&] {
     sim::Scheduler* sp = &s;
@@ -104,7 +118,7 @@ void BM_SchedulerScheduleCancelFire(benchmark::State& state) {
     for (int i = 0; i < batch; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
     s.run();
   };
-  round();  // warm-up
+  for (int r = 0; r < 4; ++r) round();  // warm-up
   const std::uint64_t a0 = g_allocs;
   std::int64_t events = 0;
   for (auto _ : state) {
@@ -115,7 +129,76 @@ void BM_SchedulerScheduleCancelFire(benchmark::State& state) {
   state.counters["allocs_per_event"] =
       static_cast<double>(g_allocs - a0) / static_cast<double>(events);
 }
+
+void BM_SchedulerScheduleCancelFire(benchmark::State& state) {
+  schedule_cancel_fire_kernel(state, sim::SchedulerConfig{sim::SchedulerBackend::kHeap});
+}
 BENCHMARK(BM_SchedulerScheduleCancelFire)->Arg(1024);
+
+void BM_WheelScheduleCancelFire(benchmark::State& state) {
+  schedule_cancel_fire_kernel(state, sim::SchedulerConfig{sim::SchedulerBackend::kWheel});
+}
+BENCHMARK(BM_WheelScheduleCancelFire)->Arg(1024);
+
+// FD-timer mix at n = 128: the pending-queue population a large group's
+// failure-detector layer creates — one long-horizon renewal timer per
+// ordered pair (n(n-1) = 16256 of them) parked under a hot stream of
+// short protocol events, with a steady churn of cancel+reschedule on the
+// cold timers (detection edges / releases / storm extensions).  The heap
+// pays O(log 16k) with cache misses on every hot operation; the wheel
+// parks the cold population in its upper levels / overflow and serves
+// the hot stream from level 0.
+void fd_timer_mix_kernel(benchmark::State& state, const sim::SchedulerConfig& cfg) {
+  constexpr int kN = 128;
+  constexpr int kPairs = kN * (kN - 1);
+  sim::Scheduler s(cfg);
+  std::mt19937_64 rng(20260729);
+  std::vector<sim::EventId> renewals(kPairs);
+  // Far enough out that no parked timer ever comes due inside the
+  // benchmark loop (each iteration advances 4 ms; the harness runs tens
+  // of thousands of iterations): the population stays at exactly kPairs
+  // and every counted event is a hot one.
+  auto long_horizon = [&rng] {
+    return 1.0e6 + static_cast<double>(rng() % 2'000'000);  // ~17 .. ~50 min
+  };
+  for (int i = 0; i < kPairs; ++i)
+    renewals[static_cast<std::size_t>(i)] = s.schedule_after(long_horizon(), [] { ++g_sink; });
+
+  auto round = [&] {
+    sim::Scheduler* sp = &s;
+    for (int i = 0; i < 512; ++i) {
+      const auto a = static_cast<std::uint64_t>(i);
+      s.schedule_after(static_cast<double>(i % 32) * 0.125,
+                       [sp, a] { g_sink += a + sp->executed(); });
+    }
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t idx = rng() % renewals.size();
+      s.cancel(renewals[idx]);
+      renewals[idx] = s.schedule_after(long_horizon(), [] { ++g_sink; });
+    }
+    s.run_until(s.now() + 4.0);  // drains the short events only
+  };
+  for (int r = 0; r < 8; ++r) round();  // warm-up
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    round();
+    events += 512 + 2 * 64;  // fires + cancel/reschedule pairs
+  }
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(events);
+}
+
+void BM_FdTimerMix128_heap(benchmark::State& state) {
+  fd_timer_mix_kernel(state, sim::SchedulerConfig{sim::SchedulerBackend::kHeap});
+}
+BENCHMARK(BM_FdTimerMix128_heap);
+
+void BM_FdTimerMix128_wheel(benchmark::State& state) {
+  fd_timer_mix_kernel(state, sim::SchedulerConfig{sim::SchedulerBackend::kWheel});
+}
+BENCHMARK(BM_FdTimerMix128_wheel);
 
 void BM_NetworkUnicastHop(benchmark::State& state) {
   net::System sys(2, net::NetworkConfig{}, 1);
@@ -175,6 +258,45 @@ void BM_AbcastSecond(benchmark::State& state) {
 BENCHMARK(BM_AbcastSecond)
     ->Arg(static_cast<int>(core::Algorithm::kFd))
     ->Arg(static_cast<int>(core::Algorithm::kGm));
+
+// One simulated second of FD-heavy atomic broadcast at n = 128 (the
+// scale_throughput composition: T = 100/s, one renewal timer per ordered
+// pair).  Items = scheduler events, so items_per_second is the
+// events/sec figure and 1e9 / items_per_second the ns/event the
+// BENCH_pr4.json before/after compares.  The SimRun persists across
+// iterations: this measures the steady state, not the n^2 setup.
+void abcast_scale_kernel(benchmark::State& state, sim::SchedulerBackend backend) {
+  core::SimConfig cfg;
+  cfg.algorithm = core::Algorithm::kFd;
+  cfg.n = 128;
+  cfg.seed = 7;
+  cfg.scheduler.backend = backend;
+  cfg.fd_params.detection_time = 30.0;
+  cfg.fd_params.wrong_suspicions = true;
+  cfg.fd_params.mistake_recurrence = 128.0 * 127.0 * 5000.0;
+  cfg.fd_params.mistake_duration = 50.0;
+  core::SimRun run(cfg, core::WorkloadConfig{.throughput = 100.0});
+  run.start();
+  run.run_until(1000.0);  // past startup transients
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const std::uint64_t e0 = run.system().scheduler().executed();
+    run.run_until(run.system().scheduler().now() + 1000.0);
+    events += static_cast<std::int64_t>(run.system().scheduler().executed() - e0);
+  }
+  state.SetItemsProcessed(events);
+  benchmark::DoNotOptimize(run.recorder().total_delivered());
+}
+
+void BM_AbcastScaleSecond128_heap(benchmark::State& state) {
+  abcast_scale_kernel(state, sim::SchedulerBackend::kHeap);
+}
+BENCHMARK(BM_AbcastScaleSecond128_heap);
+
+void BM_AbcastScaleSecond128_wheel(benchmark::State& state) {
+  abcast_scale_kernel(state, sim::SchedulerBackend::kWheel);
+}
+BENCHMARK(BM_AbcastScaleSecond128_wheel);
 
 }  // namespace
 

@@ -35,6 +35,10 @@ struct ScenarioContext {
   /// simulation of the sweep on top of whatever the scenario injects.
   /// Events referencing processes outside a run's 0..n-1 are skipped.
   fault::FaultSchedule faults;
+  /// Scheduler backend from the CLI (--backend), applied to every
+  /// simulation of every sweep.  Both backends are bit-identical (the
+  /// CI diffs CSVs across them); the wheel pays off at large n.
+  sim::SchedulerConfig scheduler;
 };
 
 struct Scenario {
@@ -80,6 +84,7 @@ inline core::SimConfig sim_config_ctx(core::Algorithm a, int n, const ScenarioCo
                                       double lambda = 1.0) {
   core::SimConfig cfg = sim_config(a, n, lambda, ctx.seed);
   cfg.faults = ctx.faults;
+  cfg.scheduler = ctx.scheduler;
   return cfg;
 }
 

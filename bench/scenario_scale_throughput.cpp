@@ -1,0 +1,110 @@
+// Large-n scaling (beyond the paper): the paper evaluates n = 3..7; this
+// family sweeps n in {8, 16, 32, 64, 128} for both stacks, in steady state
+// and with one crashed process, and reports the abcast latency *and* the
+// simulator's own wall-clock throughput (millions of scheduler events per
+// second) — the number the scheduler-backend choice (--backend heap|wheel)
+// moves.
+//
+// The runs are FD-heavy by construction: the QoS model keeps one
+// wrong-suspicion renewal timer alive per ordered process pair, so the
+// scheduler carries an O(n^2) timer population (16k pending timers at
+// n = 128) underneath the hot O(1 ms) protocol events.  TMR is scaled
+// with n(n-1) to keep the *system-wide* mistake rate constant across the
+// sweep (a fixed per-pair TMR would melt the GM stack at n = 128 with a
+// view change every few ms, which is a different experiment).
+//
+// Column layout: the deterministic columns (latency) come first and the
+// wall-clock-dependent ones (Mev/s) last, so the CI can diff the
+// deterministic prefix bit-for-bit across scheduler backends.
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr double kThroughput = 100.0;  // msgs/s across the group
+constexpr double kSystemMistakeGap = 5000.0;  // one wrong suspicion per 5 s system-wide
+
+struct Measured {
+  core::PointResult point;
+  double wall_s = 0.0;
+};
+
+Measured run_measured(const core::SimConfig& cfg, const core::SteadyConfig& sc,
+                      const std::vector<net::ProcessId>& crashes) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Measured m;
+  m.point = core::run_steady(cfg, sc, crashes);
+  m.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return m;
+}
+
+util::Table run_scale(const ScenarioContext& ctx) {
+  util::Table table({"n", "mode", "T [1/s]", "FD [ms]", "FD ci95", "GM [ms]", "GM ci95",
+                     "FD Mev/s", "GM Mev/s"});
+  const char* quick = std::getenv("FDGM_BENCH_QUICK");
+  std::vector<int> ns{8, 16, 32, 64, 128};
+  if (quick != nullptr && *quick == '1') ns = {8, 16, 32};
+  // Explicit override, e.g. FDGM_SCALE_NS="64,128" (profiling / perf CI).
+  if (const char* env = std::getenv("FDGM_SCALE_NS"); env != nullptr && *env != '\0') {
+    ns.clear();
+    std::istringstream is(env);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      char* end = nullptr;
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (end == tok.c_str() || *end != '\0' || v < 2 || v > 4096)
+        throw std::invalid_argument("scale_throughput: bad FDGM_SCALE_NS entry '" + tok +
+                                    "' (comma-separated group sizes in 2..4096)");
+      ns.push_back(static_cast<int>(v));
+    }
+  }
+
+  std::vector<RowJob> jobs;
+  for (int n : ns) {
+    for (const char* mode : {"steady", "crash"}) {
+      const bool crash = mode[0] == 'c';
+      jobs.push_back([n, crash, mode, &ctx] {
+        core::SteadyConfig sc = steady_from_ctx(kThroughput, ctx);
+        if (crash) sc.warmup_ms += 1000.0;  // absorb detection + view change
+
+        const std::vector<net::ProcessId> crashes =
+            crash ? std::vector<net::ProcessId>{n - 1} : std::vector<net::ProcessId>{};
+
+        std::vector<std::string> row{std::to_string(n), mode,
+                                     util::Table::cell(kThroughput, 0)};
+        std::vector<std::string> rates;
+        for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+          core::SimConfig cfg = sim_config_ctx(algo, n, ctx);
+          cfg.fd_params.detection_time = 30.0;
+          // O(n^2) renewal timers; system-wide mistake rate held constant
+          // across n (see file comment).
+          cfg.fd_params.wrong_suspicions = true;
+          cfg.fd_params.mistake_recurrence =
+              static_cast<double>(n) * static_cast<double>(n - 1) * kSystemMistakeGap;
+          cfg.fd_params.mistake_duration = 50.0;
+          const Measured m = run_measured(cfg, sc, crashes);
+          add_point_cells(row, m.point);
+          rates.push_back(util::Table::cell(
+              static_cast<double>(m.point.events) / m.wall_s / 1e6, 2));
+        }
+        row.insert(row.end(), rates.begin(), rates.end());
+        return row;
+      });
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"scale_throughput",
+                             "Large-n scaling: abcast latency and simulator events/sec, "
+                             "n up to 128, steady and crash",
+                             "beyond paper", run_scale}};
+
+}  // namespace
+}  // namespace fdgm::bench

@@ -1,0 +1,69 @@
+// Rotating suspicion storms (ROADMAP backlog item): like the
+// `suspicion_storm` scenario, every alive process wrongly suspects a
+// target simultaneously for a window of D ms — but the target *rotates*
+// across the whole group, one process per storm window.  A fixed-target
+// storm only ever dethrones p0; a rotating storm eventually hits whoever
+// currently coordinates/sequences, so the GM stack pays one view change
+// per window that lands on a member of the current view (including
+// readmitting the previous victim), while the FD stack only pays a round
+// change when the storm happens to hit the instance coordinator.
+// Expected shape: GM degrades with D like the fixed-target storm but
+// keeps paying across the whole run (there is no "safe" sequencer to
+// settle on); FD stays within a few round trips of normal.
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr double kStormGap = 600.0;  // start-to-start gap between storms (ms)
+constexpr int kStorms = 8;           // >= n for every swept group: no process is spared
+
+util::Table run_rotating(const ScenarioContext& ctx) {
+  util::Table table(
+      {"n", "D [ms]", "T [1/s]", "FD [ms]", "FD ci95", "GM [ms]", "GM ci95"});
+  const double throughput = 100.0;
+  std::vector<RowJob> jobs;
+  for (int n : {3, 7}) {
+    for (double dur : {1.0, 25.0, 100.0}) {
+      jobs.push_back([n, dur, throughput, &ctx] {
+        const double t0 = ctx.budget.warmup_ms;
+        const double t_end = t0 + 300.0 + kStorms * kStormGap + 500.0;
+
+        fault::FaultSchedule storms;
+        for (int s = 0; s < kStorms; ++s) {
+          fault::FaultEvent storm;
+          storm.kind = fault::FaultKind::kSuspicionStorm;
+          storm.accused = {s % n};  // the rotation
+          storm.at = t0 + 300.0 + s * kStormGap;
+          storm.until = storm.at + dur;
+          storms.add(storm);
+        }
+
+        core::WindowedConfig wc;
+        wc.throughput = throughput;
+        wc.t_end = t_end;
+        wc.windows = {{t0, t_end}};
+        wc.replicas = ctx.budget.replicas;
+
+        std::vector<std::string> row{std::to_string(n), util::Table::cell(dur, 0),
+                                     util::Table::cell(throughput, 0)};
+        for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+          core::SimConfig cfg = sim_config_ctx(algo, n, ctx);
+          cfg.faults.merge(storms);
+          add_window_cells(row, core::run_windowed(cfg, wc));
+        }
+        return row;
+      });
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"suspicion_storm_rotating",
+                             "Rotating suspicion storms: the storm target cycles through "
+                             "the group, one process per window",
+                             "beyond paper", run_rotating}};
+
+}  // namespace
+}  // namespace fdgm::bench

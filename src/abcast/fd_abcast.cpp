@@ -229,14 +229,14 @@ void FdAbcastProcess::maybe_start_next() {
   // Start the lowest startable instance when some pending message is not
   // yet covered by a proposal of ours.  Messages arriving while the
   // pipeline is full batch into a later instance (aggregation, §4.1).
-  bool uncovered = false;
-  for (const auto& [id, msg] : pending_) {
-    if (!proposed_in_.contains(id)) {
-      uncovered = true;
-      break;
-    }
-  }
-  if (!uncovered) return;
+  //
+  // proposed_in_ only ever marks ids that are in pending_, and a mark is
+  // erased no later than its message (delivery, sync and restart erase
+  // both; the re-proposal sweep erases marks only), so proposed_in_ is a
+  // subset of pending_ and "some pending message is uncovered" is a size
+  // comparison — O(1) instead of an O(pending) scan per delivery/arrival,
+  // which dominated large-n runs.
+  if (proposed_in_.size() >= pending_.size()) return;
   std::uint64_t k = next_to_process_;
   while (can_start(k)) {
     const consensus::InstanceKey key{kAbcastContext, k};
@@ -257,9 +257,10 @@ void FdAbcastProcess::on_decide(const consensus::InstanceKey& key, const net::Pa
 }
 
 void FdAbcastProcess::process_ready_decisions() {
+  bool applied = false;
   while (true) {
     auto it = ready_decisions_.find(next_to_process_);
-    if (it == ready_decisions_.end()) return;
+    if (it == ready_decisions_.end()) break;
     const Proposal& prop = *it->second;
     // Deliver the decision's messages in id order.  All correct processes
     // apply the same vector, so the delivery order is identical everywhere.
@@ -291,9 +292,14 @@ void FdAbcastProcess::process_ready_decisions() {
       winners_.erase(winners_.begin());
     ready_decisions_.erase(it);
     ++next_to_process_;
+    applied = true;
   }
   // The window may have opened: retry joins buffered by the service and
-  // any local starts we deferred.
+  // any local starts we deferred.  The window (can_start) only moves when
+  // next_to_process_ advanced, so the retry is skipped — identically, not
+  // just cheaply — when nothing was applied: this function runs on every
+  // content arrival.
+  if (!applied) return;
   consensus_.retry_buffered(kAbcastContext);
   maybe_start_next();
 }

@@ -90,6 +90,7 @@ GmAbcastProcess::GmAbcastProcess(net::System& sys, net::ProcessId self, fd::Fail
       membership_(sys, self, fd, rb_, consensus_, *this,
                   gm::MembershipConfig{.join_retry = cfg.join_retry}) {
   view_ = membership_.view();
+  acks_.assign(static_cast<std::size_t>(sys.n()), kNoAck);
   sys.node(self).register_handler(net::ProtocolId::kAtomicBroadcast, this);
 }
 
@@ -132,7 +133,7 @@ void GmAbcastProcess::on_restart() {
   msg_at_.clear();
   recent_delivered_.clear();
   batch_ends_.clear();
-  acks_.clear();
+  acks_.assign(static_cast<std::size_t>(sys_->n()), kNoAck);
   member_ = false;
   frozen_ = true;
   membership_.rejoin();
@@ -201,17 +202,21 @@ void GmAbcastProcess::try_deliver_sequencer() {
   if (!cfg_.uniform || !active_sequencer()) return;
   // Cumulative ack coverage: sn is deliverable once a majority of the view
   // (the sequencer included — it holds everything it assigned) covers it.
-  std::vector<std::int64_t> cover;
+  // cover_buf_ is reused and selected with nth_element: O(|view|) per ack
+  // instead of an allocation plus a full sort.
+  std::vector<std::int64_t>& cover = cover_buf_;
+  cover.clear();
   cover.push_back(next_sn_ - 1);
   for (net::ProcessId p : view_.members) {
     if (p == self_) continue;
-    auto it = acks_.find(p);
-    cover.push_back(it == acks_.end() ? sn_floor_ : it->second);
+    const std::int64_t a = acks_[static_cast<std::size_t>(p)];
+    cover.push_back(a == kNoAck ? sn_floor_ : a);
   }
-  std::sort(cover.begin(), cover.end(), std::greater<>());
-  const std::int64_t deliverable = cover[view_.majority() - 1];
+  const auto kth = cover.begin() + static_cast<std::ptrdiff_t>(view_.majority() - 1);
+  std::nth_element(cover.begin(), kth, cover.end(), std::greater<>());
+  const std::int64_t deliverable = *kth;
   if (deliverable <= announced_) return;
-  const std::int64_t stable = cover.back();  // min over the whole view
+  const std::int64_t stable = *std::min_element(cover.begin(), cover.end());
   announced_ = deliverable;
   deliver_up_to(deliverable);
   recent_delivered_.erase(recent_delivered_.begin(), recent_delivered_.upper_bound(stable));
@@ -260,8 +265,8 @@ void GmAbcastProcess::on_message(const net::Message& m) {
   }
   if (const auto* a = net::payload_cast<AckMsg>(m)) {
     if (a->view_id != view_.id || !active_sequencer()) return;
-    auto [it, inserted] = acks_.try_emplace(m.src, a->cum);
-    if (!inserted) it->second = std::max(it->second, a->cum);
+    std::int64_t& cum = acks_[static_cast<std::size_t>(m.src)];
+    cum = std::max(cum, a->cum);
     try_deliver_sequencer();
     return;
   }
@@ -384,7 +389,7 @@ void GmAbcastProcess::on_view_installed(const gm::View& v, bool member) {
   view_ = v;
   member_ = member;
   frozen_ = !member;
-  acks_.clear();
+  acks_.assign(static_cast<std::size_t>(sys_->n()), kNoAck);
   if (!member) return;
 
   next_sn_ = sn_floor_ + 1;

@@ -141,7 +141,12 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   // per batch identical to one consensus instance of the FD algorithm.
   std::int64_t next_sn_ = 1;
   std::vector<std::int64_t> batch_ends_;  // ends of unannounced batches
-  std::unordered_map<net::ProcessId, std::int64_t> acks_;
+  /// Cumulative ack point per process, indexed by pid (kNoAck = none this
+  /// view).  Flat instead of a map: the sequencer reads all n entries on
+  /// every ack, which dominates the data plane at large n.
+  static constexpr std::int64_t kNoAck = -1;
+  std::vector<std::int64_t> acks_;
+  std::vector<std::int64_t> cover_buf_;  // scratch for try_deliver_sequencer
 
   std::vector<AppMessagePtr> own_buffer_;  // A-broadcasts while excluded
 };

@@ -15,21 +15,55 @@ constexpr int kDecideTag = 0x434f4e53;  // "CONS"
 
 Instance::Instance(ConsensusService& service, InstanceKey key, net::ProcessId self,
                    StartInfo info)
-    : service_(&service),
-      key_(key),
-      self_(self),
-      members_(std::move(info.members)),
-      offset_(info.coordinator_offset),
-      refresh_(std::move(info.refresh)),
-      estimate_(std::move(info.initial)) {
-  if (members_.empty()) throw std::invalid_argument("consensus::Instance: empty membership");
-  std::sort(members_.begin(), members_.end());
-  if (std::find(members_.begin(), members_.end(), self_) == members_.end())
-    throw std::invalid_argument("consensus::Instance: self not a member");
-  service_->fd().add_listener(this);
+    : service_(&service), self_(self) {
+  reset(key, std::move(info));
 }
 
-Instance::~Instance() { service_->fd().remove_listener(this); }
+Instance::~Instance() { retire(); }
+
+void Instance::reset(InstanceKey key, StartInfo info) {
+  key_ = key;
+  members_ = std::move(info.members);
+  offset_ = info.coordinator_offset;
+  refresh_ = std::move(info.refresh);
+  estimate_ = std::move(info.initial);
+  ts_ = 0;
+  round_ = 1;
+  done_ = false;
+  in_progress_ = false;
+  if (members_.empty()) throw std::invalid_argument("consensus::Instance: empty membership");
+  std::sort(members_.begin(), members_.end());
+  if (!std::binary_search(members_.begin(), members_.end(), self_))
+    throw std::invalid_argument("consensus::Instance: self not a member");
+  service_->fd().add_listener(this);
+  listening_ = true;
+}
+
+void Instance::retire() {
+  if (listening_) {
+    service_->fd().remove_listener(this);
+    listening_ = false;
+  }
+  for (auto& p : rounds_)
+    if (p) p->clear();
+  estimate_ = nullptr;
+  refresh_ = nullptr;
+  done_ = true;
+}
+
+Instance::RoundState& Instance::rs(std::uint32_t r) {
+  if (rounds_.size() < r) rounds_.resize(r);
+  auto& p = rounds_[r - 1];
+  if (!p) p = std::make_unique<RoundState>();
+  if (p->from.empty()) p->from.assign(members_.size(), RoundState::PerMember{});
+  return *p;
+}
+
+int Instance::rank_of(net::ProcessId p) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), p);
+  if (it == members_.end() || *it != p) return -1;
+  return static_cast<int>(it - members_.begin());
+}
 
 net::ProcessId Instance::coordinator(std::uint32_t r) const {
   const auto n = members_.size();
@@ -54,9 +88,18 @@ void Instance::send_to_coordinator(std::uint32_t r, ConsensusMsg::Kind kind,
 void Instance::on_msg(net::ProcessId from, const ConsensusMsg& m) {
   if (done_) return;
   RoundState& st = rs(m.round);
+  const int rank = rank_of(from);
   switch (m.kind) {
     case ConsensusMsg::Kind::kEstimate:
-      st.estimates.emplace(from, std::make_pair(m.value, m.ts));
+      if (rank >= 0) {
+        auto& pm = st.from[static_cast<std::size_t>(rank)];
+        if (!(pm.bits & RoundState::kEstimate)) {  // first estimate wins
+          pm.bits |= RoundState::kEstimate;
+          pm.est_value = m.value;
+          pm.est_ts = m.ts;
+          ++st.estimates;
+        }
+      }
       break;
     case ConsensusMsg::Kind::kPropose:
       if (!st.have_proposal) {
@@ -67,10 +110,22 @@ void Instance::on_msg(net::ProcessId from, const ConsensusMsg& m) {
       if (m.round > round_) advance_to(m.round);
       break;
     case ConsensusMsg::Kind::kAck:
-      st.acks.insert(from);
+      if (rank >= 0) {
+        auto& pm = st.from[static_cast<std::size_t>(rank)];
+        if (!(pm.bits & RoundState::kAck)) {
+          pm.bits |= RoundState::kAck;
+          ++st.acks;
+        }
+      }
       break;
     case ConsensusMsg::Kind::kNack:
-      st.nacks.insert(from);
+      if (rank >= 0) {
+        auto& pm = st.from[static_cast<std::size_t>(rank)];
+        if (!(pm.bits & RoundState::kNack)) {
+          pm.bits |= RoundState::kNack;
+          ++st.nacks;
+        }
+      }
       break;
     case ConsensusMsg::Kind::kRoundFailed:
       st.failed = true;
@@ -119,14 +174,15 @@ void Instance::try_progress() {
         // Optimized first round: propose the initial value directly.
         can_propose = true;
         value = estimate_;
-      } else if (st.estimates.size() >= majority()) {
+      } else if (st.estimates >= majority()) {
         // Pick the estimate with the highest timestamp (ties broken by the
-        // lowest process id — st.estimates is ordered, so "first wins").
+        // lowest process id — ranks iterate in member order, "first wins").
         std::uint32_t best_ts = 0;
-        for (const auto& [p, est] : st.estimates) {
-          if (!value || est.second > best_ts) {
-            value = est.first;
-            best_ts = est.second;
+        for (const auto& pm : st.from) {
+          if (!(pm.bits & RoundState::kEstimate)) continue;
+          if (!value || pm.est_ts > best_ts) {
+            value = pm.est_value;
+            best_ts = pm.est_ts;
           }
         }
         // Nothing locked anywhere: any proposal is safe.  The coordinator
@@ -173,9 +229,9 @@ void Instance::try_progress() {
     // --- Coordinator: phase 4, the first majority of replies decides the
     // round's fate: all acks -> decision; any nack -> the round failed.
     if (coord == self_ && st.proposed && !st.resolved && !done_ &&
-        st.acks.size() + st.nacks.size() >= majority()) {
+        st.acks + st.nacks >= majority()) {
       st.resolved = true;
-      if (st.nacks.empty()) {
+      if (st.nacks == 0) {
         done_ = true;
         service_->decide(key_, members_, st.proposal);
         break;
@@ -213,9 +269,25 @@ void ConsensusService::register_context(std::uint32_t context, ContextConfig cfg
     throw std::logic_error("ConsensusService: duplicate context");
 }
 
+std::unique_ptr<Instance> ConsensusService::acquire_instance(const InstanceKey& key,
+                                                             StartInfo info) {
+  if (!pool_.empty()) {
+    std::unique_ptr<Instance> inst = std::move(pool_.back());
+    pool_.pop_back();
+    inst->reset(key, std::move(info));
+    return inst;
+  }
+  return std::make_unique<Instance>(*this, key, self_, std::move(info));
+}
+
+void ConsensusService::retire(std::unique_ptr<Instance> inst) {
+  inst->retire();
+  pool_.push_back(std::move(inst));
+}
+
 void ConsensusService::start(const InstanceKey& key, StartInfo info) {
   if (decided(key) || instances_.contains(key)) return;
-  auto inst = std::make_unique<Instance>(*this, key, self_, std::move(info));
+  std::unique_ptr<Instance> inst = acquire_instance(key, std::move(info));
   Instance* raw = inst.get();
   instances_.emplace(key, std::move(inst));
   // Replay messages that arrived before we joined.
@@ -253,6 +325,7 @@ void ConsensusService::close_below(std::uint32_t context, std::uint64_t number) 
   for (auto it = instances_.begin(); it != instances_.end();) {
     if (below(it->first)) {
       it->second->halt();
+      retire(std::move(it->second));
       it = instances_.erase(it);
     } else {
       ++it;
@@ -321,12 +394,18 @@ bool ConsensusService::handle_decision(const ConsensusMsg* cm) {
   if (below_floor(cm->key)) return false;  // settled out of band already
   if (!decided_.insert(cm->key).second) return false;  // duplicate decision
   if (auto it = instances_.find(cm->key); it != instances_.end()) {
-    // halt() now; destroy later.  The decision can arrive synchronously
+    // halt() now; retire later.  The decision can arrive synchronously
     // from inside the instance's own try_progress (the coordinator's local
-    // rbcast delivery), so erasing here would free a live stack frame.
+    // rbcast delivery), so pooling here could hand a live stack frame's
+    // instance to a new key.
     it->second->halt();
     const InstanceKey key = cm->key;
-    sys_->scheduler().schedule_after(0, [this, key] { instances_.erase(key); });
+    sys_->scheduler().schedule_after(0, [this, key] {
+      auto dit = instances_.find(key);
+      if (dit == instances_.end()) return;  // close_below retired it already
+      retire(std::move(dit->second));
+      instances_.erase(dit);
+    });
   }
   buffered_.erase(cm->key);
   auto cit = contexts_.find(cm->key.context);

@@ -29,10 +29,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -64,6 +62,13 @@ struct StartInfo {
 class ConsensusService;
 
 /// One running Chandra-Toueg instance at one process.
+///
+/// Instance bodies are pooled by the ConsensusService: one consensus
+/// instance runs per message batch, so the per-instance containers
+/// (membership, per-round reply arrays) are recycled through
+/// reset()/retire() instead of being reallocated per message — the
+/// steady-state cost of an instance is O(members) writes into
+/// already-sized arrays.
 class Instance final : public fd::SuspicionListener {
  public:
   Instance(ConsensusService& service, InstanceKey key, net::ProcessId self, StartInfo info);
@@ -71,6 +76,14 @@ class Instance final : public fd::SuspicionListener {
 
   Instance(const Instance&) = delete;
   Instance& operator=(const Instance&) = delete;
+
+  /// Re-arms a pooled instance body for a new key (capacity of the
+  /// per-round arrays is retained).  The instance must be retired.
+  void reset(InstanceKey key, StartInfo info);
+
+  /// Detaches from the failure detector and clears payload references;
+  /// the body is ready for reset().  Idempotent.
+  void retire();
 
   /// Kick off participation (round-1 coordinator proposes here).
   void start();
@@ -89,11 +102,25 @@ class Instance final : public fd::SuspicionListener {
   [[nodiscard]] net::ProcessId coordinator(std::uint32_t r) const;
 
  private:
+  /// Per-round reply bookkeeping, flattened: instead of ProcessId-keyed
+  /// maps/sets (one node allocation per reply), replies live in one
+  /// rank-indexed array sized |members| — O(1) lookup, zero allocation
+  /// once the pooled body warmed up.  Replies from non-members (stale
+  /// traffic from processes outside the instance's membership) are
+  /// ignored — they must not count toward a majority of `members`.
   struct RoundState {
-    // Coordinator side.
-    std::map<net::ProcessId, std::pair<net::PayloadPtr, std::uint32_t>> estimates;
-    std::set<net::ProcessId> acks;
-    std::set<net::ProcessId> nacks;
+    static constexpr std::uint8_t kEstimate = 1;
+    static constexpr std::uint8_t kAck = 2;
+    static constexpr std::uint8_t kNack = 4;
+    struct PerMember {
+      net::PayloadPtr est_value = nullptr;
+      std::uint32_t est_ts = 0;
+      std::uint8_t bits = 0;
+    };
+    std::vector<PerMember> from;  // rank-indexed (position in members_)
+    std::size_t estimates = 0;
+    std::size_t acks = 0;
+    std::size_t nacks = 0;
     bool proposed = false;
     bool resolved = false;  // coordinator saw its first majority of replies
     net::PayloadPtr proposal = nullptr;  // set on participants when PROPOSE arrives
@@ -103,11 +130,23 @@ class Instance final : public fd::SuspicionListener {
     bool acked = false;
     bool nacked = false;
     bool estimate_sent = false;
+
+    void clear() {
+      from.clear();  // capacity retained; re-sized by rs() on first use
+      estimates = acks = nacks = 0;
+      proposed = resolved = have_proposal = failed = false;
+      acked = nacked = estimate_sent = false;
+      proposal = nullptr;
+    }
   };
 
   void try_progress();
   void advance_to(std::uint32_t r);
-  RoundState& rs(std::uint32_t r) { return rounds_[r]; }
+  /// Round r's state (rounds are dense from 1; bodies are pooled across
+  /// reset() and stay address-stable while rounds_ grows).
+  RoundState& rs(std::uint32_t r);
+  /// Position of p in members_, or -1 when p is not a member.
+  [[nodiscard]] int rank_of(net::ProcessId p) const;
   [[nodiscard]] std::size_t majority() const { return members_.size() / 2 + 1; }
   void send_to_coordinator(std::uint32_t r, ConsensusMsg::Kind kind, net::PayloadPtr value,
                            std::uint32_t ts);
@@ -116,14 +155,15 @@ class Instance final : public fd::SuspicionListener {
   InstanceKey key_;
   net::ProcessId self_;
   std::vector<net::ProcessId> members_;
-  int offset_;
+  int offset_ = 0;
   std::function<net::PayloadPtr()> refresh_;
-  net::PayloadPtr estimate_;
+  net::PayloadPtr estimate_ = nullptr;
   std::uint32_t ts_ = 0;
   std::uint32_t round_ = 1;
   bool done_ = false;
   bool in_progress_ = false;  // re-entrancy guard for try_progress
-  std::map<std::uint32_t, RoundState> rounds_;
+  bool listening_ = false;    // registered as a suspicion listener
+  std::vector<std::unique_ptr<RoundState>> rounds_;  // index r-1
 };
 
 /// Per-process consensus endpoint: routes messages to instances, creates
@@ -214,8 +254,19 @@ class ConsensusService final : public net::Layer {
   net::ProcessId self_;
   fd::FailureDetector* fd_;
   rbcast::ReliableBroadcast* rb_;
+  /// Takes an instance body from the pool (or allocates the first time)
+  /// and arms it for `key`.
+  [[nodiscard]] std::unique_ptr<Instance> acquire_instance(const InstanceKey& key,
+                                                           StartInfo info);
+  /// Retires an instance body into the pool for reuse.
+  void retire(std::unique_ptr<Instance> inst);
+
   std::unordered_map<std::uint32_t, ContextConfig> contexts_;
   std::unordered_map<InstanceKey, std::unique_ptr<Instance>, InstanceKeyHash> instances_;
+  /// Retired instance bodies, reused by acquire_instance — one consensus
+  /// instance runs per message batch, so this avoids re-growing the
+  /// per-instance containers on every message.
+  std::vector<std::unique_ptr<Instance>> pool_;
   std::unordered_map<InstanceKey, std::vector<std::pair<net::ProcessId, const ConsensusMsg*>>,
                      InstanceKeyHash>
       buffered_;

@@ -1,8 +1,21 @@
 #include "core/experiment.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace fdgm::core {
+
+namespace {
+std::atomic<std::uint64_t> g_events_executed{0};
+}  // namespace
+
+std::uint64_t total_events_executed() {
+  return g_events_executed.load(std::memory_order_relaxed);
+}
+
+SimRun::~SimRun() {
+  g_events_executed.fetch_add(sys_->scheduler().executed(), std::memory_order_relaxed);
+}
 
 const char* algorithm_name(Algorithm a) {
   switch (a) {
@@ -20,7 +33,7 @@ SimRun::SimRun(const SimConfig& cfg, WorkloadConfig wl) : cfg_(cfg) {
   if (cfg.n < 1) throw std::invalid_argument("SimRun: n must be >= 1");
   net::NetworkConfig net_cfg;
   net_cfg.lambda = cfg.lambda;
-  sys_ = std::make_unique<net::System>(cfg.n, net_cfg, cfg.seed);
+  sys_ = std::make_unique<net::System>(cfg.n, net_cfg, cfg.seed, cfg.scheduler);
   fd_model_ = std::make_unique<fd::QosFailureDetectorModel>(*sys_, cfg.fd_params);
 
   procs_.reserve(static_cast<std::size_t>(cfg.n));

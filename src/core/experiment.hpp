@@ -34,6 +34,11 @@ struct SimConfig {
   double lambda = 1.0;
   fd::QosParams fd_params;
   std::uint64_t seed = 1;
+  /// Pending-queue backend of the discrete-event scheduler.  Both
+  /// backends produce bit-identical runs; the wheel is faster once the
+  /// timer population grows with n^2 (large groups), the heap at the
+  /// paper's n <= 7 sizes.
+  sim::SchedulerConfig scheduler;
   /// FD-algorithm coordinator re-numbering optimization (paper §7).
   bool fd_renumbering = true;
   /// GM joiner retry period (ms).
@@ -45,9 +50,15 @@ struct SimConfig {
   fault::FaultSchedule faults;
 };
 
+/// Process-wide count of scheduler events executed by completed (i.e.
+/// destroyed) SimRuns, across all worker threads.  `fdgm_bench --profile`
+/// reads the delta around a scenario to report its events/sec.
+[[nodiscard]] std::uint64_t total_events_executed();
+
 class SimRun {
  public:
   explicit SimRun(const SimConfig& cfg, WorkloadConfig wl = {});
+  ~SimRun();
 
   SimRun(const SimRun&) = delete;
   SimRun& operator=(const SimRun&) = delete;

@@ -14,6 +14,7 @@ struct ReplicaOutcome {
   double mean = 0.0;
   bool stable = false;
   std::size_t samples = 0;
+  std::uint64_t events = 0;
 };
 
 ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
@@ -35,7 +36,7 @@ ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
     sched.run_until(sched.now() + step);
     t_end = sched.now();
     if (run.recorder().stale_undelivered(sched.now(), sc.stale_age_ms) > sc.unstable_backlog)
-      return {0.0, false, 0};
+      return {0.0, false, 0, sched.executed()};
     if (sched.now() > sc.max_time_ms) break;
     const bool enough_samples =
         run.recorder().broadcast_in_window(t0, t_end) >= sc.samples;
@@ -52,12 +53,12 @@ ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
   const sim::Time drain_deadline = sched.now() + 4.0 * sc.stale_age_ms;
   while (run.recorder().undelivered_in_window(t0, t_end) > 0) {
     sched.run_until(sched.now() + step);
-    if (sched.now() > drain_deadline) return {0.0, false, 0};
+    if (sched.now() > drain_deadline) return {0.0, false, 0, sched.executed()};
   }
 
   const util::RunningStats stats = run.recorder().window_stats(t0, t_end);
-  if (stats.count() == 0) return {0.0, false, 0};
-  return {stats.mean(), true, stats.count()};
+  if (stats.count() == 0) return {0.0, false, 0, sched.executed()};
+  return {stats.mean(), true, stats.count(), sched.executed()};
 }
 
 /// One crash-transient replica; returns the probe latency, < 0 on failure.
@@ -95,6 +96,7 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
   std::vector<double> means;
   PointResult out;
   for (const ReplicaOutcome& o : outcomes) {
+    out.events += o.events;
     if (!o.stable) {
       out.stable = false;
       continue;

@@ -38,6 +38,11 @@ struct PointResult {
   util::MeanCi latency;  // over replica means, ms
   bool stable = true;    // false: saturated / did not converge
   std::size_t total_samples = 0;
+  /// Scheduler events executed, summed over every replica (unstable ones
+  /// included — they cost wall-clock too).  Dividing by the point's wall
+  /// time gives the events/sec throughput of the simulator itself, which
+  /// is what the scale_throughput scenarios and --profile report.
+  std::uint64_t events = 0;
 };
 
 /// Steady-state scenarios.  `initial_crashes` are crashed at t=0 (use

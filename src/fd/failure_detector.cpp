@@ -21,7 +21,10 @@ void FailureDetector::set_suspected(net::ProcessId p, bool s) {
   suspected_[idx] = s;
   if (s) ++edges_;
   // Copy: a listener callback may add/remove listeners while we iterate.
-  auto snapshot = listeners_;
+  // The scratch buffer is stolen (not aliased) so that a re-entrant edge
+  // from inside a callback simply falls back to a fresh buffer.
+  std::vector<SuspicionListener*> snapshot = std::move(snapshot_);
+  snapshot.assign(listeners_.begin(), listeners_.end());
   for (auto* l : snapshot) {
     if (std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) continue;
     if (s)
@@ -29,6 +32,7 @@ void FailureDetector::set_suspected(net::ProcessId p, bool s) {
     else
       l->on_trust(p);
   }
+  snapshot_ = std::move(snapshot);  // return the capacity to the scratch
 }
 
 }  // namespace fdgm::fd

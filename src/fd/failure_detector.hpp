@@ -54,6 +54,10 @@ class FailureDetector {
   net::ProcessId owner_;
   std::vector<bool> suspected_;
   std::vector<SuspicionListener*> listeners_;
+  /// Scratch for set_suspected's iteration snapshot: at large n a module
+  /// fires O(n) edges with O(instances) listeners each — reusing the
+  /// buffer keeps the edge path allocation-free.
+  std::vector<SuspicionListener*> snapshot_;
   std::uint64_t edges_ = 0;
 };
 

@@ -21,10 +21,11 @@ QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams par
   sim::Rng base = sys.rng().fork("fd-qos-model");
   for (int q = 0; q < n; ++q)
     for (int p = 0; p < n; ++p)
-      pairs_.push_back(PairState{
-          base.fork(static_cast<std::uint64_t>(q) * static_cast<std::uint64_t>(n) +
-                    static_cast<std::uint64_t>(p)),
-          false});
+      // emplace + move: a PairState carries a full RNG engine state, and
+      // n^2 of them are built here — the aggregate-copy form constructed
+      // every engine twice.
+      pairs_.emplace_back(base.fork(static_cast<std::uint64_t>(q) * static_cast<std::uint64_t>(n) +
+                                    static_cast<std::uint64_t>(p)));
 
   sys.add_crash_listener([this](net::ProcessId p, sim::Time t) { on_crash(p, t); });
   sys.add_recovery_listener([this](net::ProcessId p, sim::Time t) { on_recover(p, t); });

@@ -54,6 +54,8 @@ class QosFailureDetectorModel {
 
  private:
   struct PairState {
+    explicit PairState(sim::Rng r) : rng(std::move(r)) {}
+
     sim::Rng rng;
     bool crashed_permanent = false;  // p crashed; suspicion is final
     sim::Time suspect_until = 0.0;   // end of the latest mistake window

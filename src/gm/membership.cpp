@@ -194,17 +194,19 @@ void GroupMembership::maybe_start_consensus() {
   if (status_ != Status::kViewChange || consensus_started_) return;
   // Proceed once we hold the unstable messages of every member not in the
   // attempt's suspicion snapshot — and they form at least a majority
-  // (otherwise the next view could not make progress).
+  // (otherwise the next view could not make progress).  The waiting check
+  // runs first, allocation-free with an early exit: it is re-evaluated on
+  // every report/suspicion/restart event of the view change, which makes
+  // it O(n^2) per view change at large n if it builds state eagerly.
+  const auto excluded = [&](net::ProcessId q) {
+    return (vc_suspected_.contains(q) || restart_pending_.contains(q)) && q != self_;
+  };
+  for (net::ProcessId q : view_.members)
+    if (!unstable_received_.contains(q) && !excluded(q)) return;  // waiting
   std::vector<net::ProcessId> p_set;
-  bool waiting = false;
-  for (net::ProcessId q : view_.members) {
-    const bool have = unstable_received_.contains(q);
-    const bool excluded =
-        (vc_suspected_.contains(q) || restart_pending_.contains(q)) && q != self_;
-    if (!have && !excluded) waiting = true;
-    if (have && !excluded) p_set.push_back(q);
-  }
-  if (waiting) return;
+  p_set.reserve(view_.members.size());
+  for (net::ProcessId q : view_.members)
+    if (unstable_received_.contains(q) && !excluded(q)) p_set.push_back(q);
   if (p_set.size() < view_.majority()) {
     // Too many members in the snapshot: this attempt cannot form a valid
     // view.  Refresh the snapshot shortly — with short mistakes (small

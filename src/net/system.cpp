@@ -4,7 +4,9 @@
 
 namespace fdgm::net {
 
-System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed) : rng_(seed) {
+System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
+               sim::SchedulerConfig sched_cfg)
+    : sched_(sched_cfg), rng_(seed) {
   if (num_processes <= 0) throw std::invalid_argument("System: need at least one process");
   // Plain new: the System& -> Network::Sink& conversion is only
   // accessible inside System (private base), not from std::make_unique.

@@ -20,7 +20,8 @@ namespace fdgm::net {
 
 class System : private Network::Sink {
  public:
-  System(int num_processes, NetworkConfig cfg, std::uint64_t seed);
+  System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
+         sim::SchedulerConfig sched_cfg = {});
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;

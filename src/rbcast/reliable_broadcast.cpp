@@ -46,14 +46,31 @@ void ReliableBroadcast::on_message(const net::Message& m) {
 
 void ReliableBroadcast::release(const RbId& id) {
   auto it = seen_.find(id);
-  if (it == seen_.end() || it->second.payload == nullptr) return;
-  it->second.payload = nullptr;
-  --retained_;
+  if (it == seen_.end()) return;
+  if (it->second.payload != nullptr) {
+    it->second.payload = nullptr;
+    --retained_;
+  }
+  // Without the relay path, the duplicate-suppression marker only guards
+  // against the origin's own loopback copy: once that was absorbed (or
+  // when we are not the origin, so no duplicate can ever arrive), the
+  // entry can go.  This keeps seen_ bounded by the release backlog
+  // instead of the run's whole history — at large n the historical map
+  // dominated both memory and cache traffic.
+  if (!cfg_.relay_on_suspicion && (id.origin != self_ || it->second.loopback_absorbed))
+    seen_.erase(it);
 }
 
 void ReliableBroadcast::handle(const RbPayload* p) {
   auto [it, inserted] = seen_.try_emplace(p->id, Seen{p, false});
-  if (!inserted) return;  // duplicate (relay or self copy)
+  if (!inserted) {  // duplicate (relay or self copy)
+    if (!cfg_.relay_on_suspicion && p->id.origin == self_) {
+      it->second.loopback_absorbed = true;
+      // Already released: the entry was only waiting for this duplicate.
+      if (it->second.payload == nullptr) seen_.erase(it);
+    }
+    return;
+  }
   ++retained_;
   auto cit = clients_.find(p->client_tag);
   if (cit == clients_.end()) throw std::logic_error("ReliableBroadcast: unknown client tag");

@@ -119,6 +119,9 @@ class ReliableBroadcast final : public net::Layer, public fd::SuspicionListener 
   struct Seen {
     const RbPayload* payload = nullptr;  // kept for relaying
     bool relayed = false;
+    /// The origin's own loopback copy of the multicast came back (the
+    /// only duplicate that can exist when the relay path is off).
+    bool loopback_absorbed = false;
   };
 
   void handle(const RbPayload* p);

@@ -1,6 +1,28 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace fdgm::sim {
+
+const char* scheduler_backend_name(SchedulerBackend b) {
+  switch (b) {
+    case SchedulerBackend::kHeap:
+      return "heap";
+    case SchedulerBackend::kWheel:
+      return "wheel";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg) {
+  if (cfg_.backend == SchedulerBackend::kWheel) {
+    if (!(cfg_.wheel_tick_ms > 0.0))
+      throw std::invalid_argument("Scheduler: wheel_tick_ms must be positive");
+    inv_tick_ = 1.0 / cfg_.wheel_tick_ms;
+    levels_ = std::make_unique<std::array<WheelLevel, kWheelLevels>>();
+  }
+}
 
 Scheduler::~Scheduler() {
   // Destroy callables of events never executed nor cancelled.
@@ -22,7 +44,7 @@ void Scheduler::release_slot(std::uint32_t idx) {
   Slot& sl = slots_[idx];
   sl.run = nullptr;
   sl.destroy = nullptr;
-  ++sl.gen;  // stale heap records / EventIds stop matching
+  ++sl.gen;  // stale queue records / EventIds stop matching
   sl.next_free = free_head_;
   free_head_ = idx;
 }
@@ -78,23 +100,252 @@ void Scheduler::heap_pop_root() {
   if (!heap_.empty()) sift_down(0);
 }
 
-bool Scheduler::pop_next(HeapRec& out) {
-  while (!heap_.empty()) {
+void Scheduler::enqueue(HeapRec rec) {
+  if (cfg_.backend == SchedulerBackend::kHeap) {
+    heap_push(rec);
+  } else {
+    wheel_enqueue(rec);
+  }
+}
+
+// -------------------------------------------------------------------- wheel
+
+std::uint64_t Scheduler::tick_of(Time t) const {
+  const double ticks = t * inv_tick_;
+  // Guard the double -> u64 cast: UB at/above 2^64 (and for +inf, should a
+  // caller ever schedule at kTimeInfinity).  Monotone: x * c and the cast
+  // are monotone, the clamp keeps the tail constant.
+  constexpr double kMaxTicks = 9.0e18;
+  if (!(ticks < kMaxTicks)) return static_cast<std::uint64_t>(kMaxTicks);
+  return static_cast<std::uint64_t>(ticks);
+}
+
+bool Scheduler::wheel_target(std::uint64_t tick, unsigned& level, std::size_t& slot) const {
+  // tick ^ cur_tick_ has all bits above level L's span clear exactly when
+  // tick lies in the same level-L window as the cursor.
+  const std::uint64_t x = tick ^ cur_tick_;
+  if ((x >> kWheelBits) == 0) {
+    level = 0;
+    slot = tick & kWheelSlotMask;
+  } else if ((x >> (2 * kWheelBits)) == 0) {
+    level = 1;
+    slot = (tick >> kWheelBits) & kWheelSlotMask;
+  } else if ((x >> (3 * kWheelBits)) == 0) {
+    level = 2;
+    slot = (tick >> (2 * kWheelBits)) & kWheelSlotMask;
+  } else {
+    return false;  // beyond the top window: far-future overflow
+  }
+  return true;
+}
+
+std::uint32_t Scheduler::node_acquire(const HeapRec& rec) {
+  std::uint32_t idx;
+  if (node_free_ != kNilNode) {
+    idx = node_free_;
+    node_free_ = nodes_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  WheelNode& nd = nodes_[idx];
+  nd.t = rec.t;
+  nd.seq = rec.seq;
+  nd.slot = rec.slot;
+  nd.gen = rec.gen;
+  return idx;
+}
+
+void Scheduler::node_release(std::uint32_t idx) {
+  nodes_[idx].next = node_free_;
+  node_free_ = idx;
+}
+
+void Scheduler::wheel_link(unsigned level, std::size_t slot, std::uint32_t node) {
+  WheelLevel& lvl = (*levels_)[level];
+  nodes_[node].next = lvl.head[slot];
+  lvl.head[slot] = node;
+  wheel_mark(lvl, slot);
+  ++wheel_count_;
+}
+
+void Scheduler::wheel_place(const HeapRec& rec, std::uint64_t tick) {
+  unsigned level;
+  std::size_t slot;
+  if (!wheel_target(tick, level, slot)) {
+    heap_push(rec);
+    return;
+  }
+  wheel_link(level, slot, node_acquire(rec));
+}
+
+void Scheduler::wheel_enqueue(HeapRec rec) {
+  const std::uint64_t tick = tick_of(rec.t);
+  if (tick <= cur_tick_) {
+    // The event lands in (or before) the bucket at the cursor.  The
+    // cursor can rest ahead of tick_of(now()) — it advances over
+    // cancelled records without executing anything — so ticks at or
+    // below it go through ready_, never through a passed wheel slot.
+    if (!ready_active_) {
+      // Re-open ready_ for this event.  Safe unconditionally: outside a
+      // refill, every record parked in the wheel levels or the overflow
+      // has a tick strictly greater than the cursor (placement and
+      // cascade only ever file ahead of it), hence a strictly later t,
+      // so ready_ draining first preserves the global order.
+      ready_.clear();
+      ready_pos_ = 0;
+      ready_active_ = true;
+    }
+    // Its (t, seq) exceeds everything already consumed (t >= now_,
+    // fresh seq), so sorting it into the un-consumed tail preserves the
+    // global FIFO order.
+    const auto it = std::upper_bound(
+        ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_), ready_.end(), rec, before);
+    ready_.insert(it, rec);
+    return;
+  }
+  wheel_place(rec, tick);
+}
+
+std::size_t Scheduler::wheel_scan(const WheelLevel& lvl, std::size_t from) const {
+  if (from >= kWheelSlots) return kWheelSlots;
+  std::size_t word = from >> 6;
+  std::uint64_t bits = lvl.occupied[word] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    if (++word >= lvl.occupied.size()) return kWheelSlots;
+    bits = lvl.occupied[word];
+  }
+}
+
+void Scheduler::wheel_cascade(unsigned level, std::size_t slot) {
+  WheelLevel& lvl = (*levels_)[level];
+  std::uint32_t node = lvl.head[slot];
+  lvl.head[slot] = kNilNode;
+  wheel_unmark(lvl, slot);
+  // Relink every node into its lower-level bucket (the cursor entered
+  // this slot's window, so the target is always a strictly lower level —
+  // never this list).  Nodes move, nothing is copied or allocated.
+  while (node != kNilNode) {
+    const std::uint32_t next = nodes_[node].next;
+    --wheel_count_;
+    unsigned lv = 0;
+    std::size_t sl = 0;
+    [[maybe_unused]] const bool in_wheel = wheel_target(tick_of(nodes_[node].t), lv, sl);
+    assert(in_wheel && lv < level);
+    wheel_link(lv, sl, node);
+    node = next;
+  }
+}
+
+void Scheduler::wheel_pull_overflow() {
+  const std::uint64_t window = cur_tick_ >> (kWheelLevels * kWheelBits);
+  while (!heap_.empty() &&
+         (tick_of(heap_.front().t) >> (kWheelLevels * kWheelBits)) == window) {
     const HeapRec rec = heap_.front();
     heap_pop_root();
-    // A slot generation mismatch marks a cancelled (or already reused)
-    // event: drop the stale record.
-    if (slots_[rec.slot].run == nullptr || slots_[rec.slot].gen != rec.gen) continue;
-    out = rec;
-    return true;
+    wheel_place(rec, tick_of(rec.t));
   }
-  return false;
+}
+
+bool Scheduler::wheel_refill() {
+  ready_.clear();
+  ready_pos_ = 0;
+  ready_active_ = false;
+  auto& lv = *levels_;
+  for (;;) {
+    if (wheel_count_ == 0) {
+      if (heap_.empty()) return false;
+      // The wheel ran dry: jump the cursor to the overflow's earliest
+      // tick (the root has the minimal (t, seq), and tick_of is
+      // monotone) and pull that whole top-level window in.
+      cur_tick_ = tick_of(heap_.front().t);
+      wheel_pull_overflow();
+      continue;
+    }
+    // Level 0: the next occupied slot in the cursor's 256-tick window is
+    // the next bucket to drain (one tick per slot).
+    if (const std::size_t s = wheel_scan(lv[0], cur_tick_ & kWheelSlotMask); s < kWheelSlots) {
+      cur_tick_ = (cur_tick_ & ~kWheelSlotMask) | s;
+      std::uint32_t node = lv[0].head[s];
+      lv[0].head[s] = kNilNode;
+      wheel_unmark(lv[0], s);
+      while (node != kNilNode) {
+        const WheelNode& nd = nodes_[node];
+        ready_.push_back(HeapRec{nd.t, nd.seq, nd.slot, nd.gen});
+        const std::uint32_t next = nd.next;
+        node_release(node);
+        node = next;
+        --wheel_count_;
+      }
+      std::sort(ready_.begin(), ready_.end(), before);
+      ready_active_ = true;
+      return true;
+    }
+    // Level-0 window exhausted: cascade the next occupied level-1 slot
+    // (the cursor's own level-1 slot is empty by construction — its
+    // events were placed at level 0).
+    const std::size_t l1 = (cur_tick_ >> kWheelBits) & kWheelSlotMask;
+    if (const std::size_t s = wheel_scan(lv[1], l1 + 1); s < kWheelSlots) {
+      constexpr std::uint64_t kSpan1 = (std::uint64_t{1} << (2 * kWheelBits)) - 1;
+      cur_tick_ = (cur_tick_ & ~kSpan1) | (static_cast<std::uint64_t>(s) << kWheelBits);
+      wheel_cascade(1, s);
+      continue;
+    }
+    const std::size_t l2 = (cur_tick_ >> (2 * kWheelBits)) & kWheelSlotMask;
+    if (const std::size_t s = wheel_scan(lv[2], l2 + 1); s < kWheelSlots) {
+      constexpr std::uint64_t kSpan2 = (std::uint64_t{1} << (3 * kWheelBits)) - 1;
+      cur_tick_ = (cur_tick_ & ~kSpan2) | (static_cast<std::uint64_t>(s) << (2 * kWheelBits));
+      wheel_cascade(2, s);
+      continue;
+    }
+    assert(false && "wheel_count_ > 0 but no occupied slot ahead of the cursor");
+    return false;
+  }
+}
+
+// ------------------------------------------------------------------ driving
+
+bool Scheduler::peek_next(HeapRec& out) {
+  if (cfg_.backend == SchedulerBackend::kHeap) {
+    while (!heap_.empty()) {
+      const HeapRec& rec = heap_.front();
+      // A slot generation mismatch marks a cancelled (or already reused)
+      // event: drop the stale record.
+      if (rec_live(rec)) {
+        out = rec;
+        return true;
+      }
+      heap_pop_root();
+    }
+    return false;
+  }
+  for (;;) {
+    while (ready_pos_ < ready_.size()) {
+      const HeapRec& rec = ready_[ready_pos_];
+      if (rec_live(rec)) {
+        out = rec;
+        return true;
+      }
+      ++ready_pos_;  // stale: cancelled or reused
+    }
+    if (!wheel_refill()) return false;
+  }
+}
+
+void Scheduler::pop_peeked() {
+  if (cfg_.backend == SchedulerBackend::kHeap) {
+    heap_pop_root();
+  } else {
+    ++ready_pos_;
+  }
 }
 
 bool Scheduler::step() {
   if (stopped_) return false;
   HeapRec rec;
-  if (!pop_next(rec)) return false;
+  if (!peek_next(rec)) return false;
+  pop_peeked();
   assert(rec.t >= now_);
   now_ = rec.t;
   ++executed_;
@@ -113,12 +364,10 @@ std::uint64_t Scheduler::run_until(Time t) {
   std::uint64_t n = 0;
   HeapRec rec;
   while (!stopped_) {
-    if (!pop_next(rec)) break;
-    if (rec.t > t) {
-      // Not due yet: put it back (preserves seq, so FIFO order holds).
-      heap_push(rec);
-      break;
-    }
+    // Not-due events are left in place (peek does not consume), so FIFO
+    // order is preserved across run_until boundaries.
+    if (!peek_next(rec) || rec.t > t) break;
+    pop_peeked();
     now_ = rec.t;
     ++executed_;
     ++n;

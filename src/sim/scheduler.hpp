@@ -4,23 +4,41 @@
 // insertion order (FIFO), which makes every simulation reproducible given
 // the same seed.
 //
-// The event core is allocation-free in steady state:
-//  * the pending queue is a 4-ary min-heap of POD records (time, FIFO
-//    sequence, slot, generation) over one reusable vector — shallower and
-//    more cache-friendly than a binary heap, no node allocations;
+// Two interchangeable pending-queue backends produce bit-identical event
+// orders (every pop returns the globally smallest (time, seq) record):
+//
+//  * kHeap — a 4-ary min-heap of POD records over one reusable vector;
+//    O(log m) per schedule/fire.  The right choice for small event
+//    populations (the paper's n <= 7 runs).
+//  * kWheel — a hierarchical timing wheel (Varghese-Lauck): three levels
+//    of 256 slots each bucket the near future at increasing granularity
+//    (level 0 = one tick per slot); events beyond the top window spill
+//    into the 4-ary heap as overflow and are pulled in when the cursor
+//    reaches their window.  Schedule and cancel are O(1); each event is
+//    touched at most `levels` times on its way to execution.  Buckets are
+//    sorted by (time, seq) when drained, which restores the exact global
+//    FIFO order of the heap backend.  The right choice for the large-n
+//    runs, where the failure-detector layer keeps O(n^2) short-horizon
+//    timers alive at once.
+//
+// The event core is allocation-free in steady state with both backends:
+//  * heap records are POD in reusable vectors (wheel buckets retain their
+//    capacity across laps, like the heap's backing vector);
 //  * callbacks live in a slab of fixed slots with inline small-buffer
 //    storage and a freelist; callables that fit the inline buffer (every
 //    hot-path closure in the simulator) never touch the heap, oversized
 //    ones fall back to a single allocation;
 //  * EventIds are generation-counted slot handles, so cancel() is O(1)
 //    with no hash set: it destroys the callback, bumps the slot
-//    generation, and the stale heap record is skipped when popped.
+//    generation, and the stale record is skipped when its bucket drains.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <new>
 #include <stdexcept>
 #include <type_traits>
@@ -35,6 +53,23 @@ namespace fdgm::sim {
 /// Encodes (slot generation << 32 | slot index); 0 is never returned.
 using EventId = std::uint64_t;
 
+/// Pending-queue implementation; see the file comment.  Both backends
+/// produce bit-identical event orders.
+enum class SchedulerBackend : std::uint8_t { kHeap, kWheel };
+
+[[nodiscard]] const char* scheduler_backend_name(SchedulerBackend b);
+
+struct SchedulerConfig {
+  SchedulerBackend backend = SchedulerBackend::kHeap;
+  /// Width of one level-0 wheel bucket in simulated ms.  Only the wheel
+  /// cursor's work per empty stretch depends on it, never correctness:
+  /// buckets are re-sorted by (time, seq) when drained.  The default
+  /// (1/16 ms) keeps hot protocol timers (O(1 ms) apart) in buckets of a
+  /// handful of events while the 3x8-bit hierarchy still spans ~17
+  /// simulated minutes before overflow.
+  double wheel_tick_ms = 1.0 / 16.0;
+};
+
 class Scheduler {
  public:
   /// Convenience alias for callers that need to store a callback; any
@@ -45,10 +80,13 @@ class Scheduler {
   /// max_align_t) are stored inline in the slab — no heap allocation.
   static constexpr std::size_t kInlineCallbackBytes = 48;
 
-  Scheduler() = default;
+  Scheduler() : Scheduler(SchedulerConfig{}) {}
+  explicit Scheduler(const SchedulerConfig& cfg);
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
   ~Scheduler();
+
+  [[nodiscard]] SchedulerBackend backend() const { return cfg_.backend; }
 
   /// Current simulated time.  Starts at kTimeZero.
   [[nodiscard]] Time now() const { return now_; }
@@ -58,10 +96,10 @@ class Scheduler {
   EventId schedule_at(Time t, F&& f) {
     if (t < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
     const std::uint32_t slot = emplace_callback(std::forward<F>(f));
-    heap_.push_back(HeapRec{t, next_seq_++, slot, slots_[slot].gen});
-    sift_up(heap_.size() - 1);
+    const std::uint32_t gen = slots_[slot].gen;
+    enqueue(HeapRec{t, next_seq_++, slot, gen});
     ++live_;
-    return make_id(slots_[slot].gen, slot);
+    return make_id(gen, slot);
   }
 
   /// Schedule `f` `delay` time units from now.  `delay` must be >= 0.
@@ -72,7 +110,7 @@ class Scheduler {
   }
 
   /// Cancel a pending event.  Returns true if the event was still pending.
-  /// O(1): the callback is destroyed now, the heap record lazily dropped.
+  /// O(1): the callback is destroyed now, the queued record lazily dropped.
   bool cancel(EventId id);
 
   /// Execute the next pending event, advancing time.  Returns false when
@@ -103,7 +141,7 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  /// POD heap record; `seq` breaks timestamp ties FIFO.
+  /// POD queue record; `seq` breaks timestamp ties FIFO.
   struct HeapRec {
     Time t{};
     std::uint64_t seq{};
@@ -127,6 +165,32 @@ class Scheduler {
   };
 
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  // ------------------------------------------------------------- wheel
+  static constexpr unsigned kWheelBits = 8;
+  static constexpr std::size_t kWheelSlots = std::size_t{1} << kWheelBits;
+  static constexpr unsigned kWheelLevels = 3;
+  static constexpr std::uint64_t kWheelSlotMask = kWheelSlots - 1;
+  static constexpr std::uint32_t kNilNode = UINT32_MAX;
+
+  /// Bucket membership is an intrusive singly-linked list over a pooled
+  /// node slab (nodes_/node_free_): pushing, cascading and draining never
+  /// allocate, no matter which buckets the cursor visits — per-bucket
+  /// vectors would re-allocate on every fresh level-1/2 lap.
+  struct WheelNode {
+    Time t{};
+    std::uint64_t seq{};
+    std::uint32_t slot{};
+    std::uint32_t gen{};
+    std::uint32_t next{};
+  };
+
+  struct WheelLevel {
+    std::array<std::uint32_t, kWheelSlots> head;
+    /// Occupancy bitmap: bit s set <=> head[s] != kNilNode.
+    std::array<std::uint64_t, kWheelSlots / 64> occupied{};
+    WheelLevel() { head.fill(kNilNode); }
+  };
 
   static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
     return (static_cast<EventId>(gen) << 32) | slot;
@@ -176,7 +240,12 @@ class Scheduler {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx);
 
-  /// Heap order: earliest (t, seq) at the root.
+  [[nodiscard]] bool rec_live(const HeapRec& rec) const {
+    const Slot& sl = slots_[rec.slot];
+    return sl.run != nullptr && sl.gen == rec.gen;
+  }
+
+  /// Queue order: earliest (t, seq) first.
   static bool before(const HeapRec& a, const HeapRec& b) {
     if (a.t != b.t) return a.t < b.t;
     return a.seq < b.seq;
@@ -186,10 +255,66 @@ class Scheduler {
   void heap_push(HeapRec rec);
   void heap_pop_root();
 
-  /// Pops the next live event into `out`; false when none remain.
-  bool pop_next(HeapRec& out);
+  /// Backend dispatch for schedule_at.
+  void enqueue(HeapRec rec);
 
+  /// Exposes the next live event without consuming it; false when none
+  /// remain.  The wheel backend advances its cursor (cascading levels and
+  /// pulling overflow) as a side effect, which is harmless: the cursor
+  /// only moves over empty or drained buckets.
+  bool peek_next(HeapRec& out);
+  /// Consumes the record last returned by peek_next.
+  void pop_peeked();
+
+  // Wheel internals (all no-ops under the heap backend).
+  [[nodiscard]] std::uint64_t tick_of(Time t) const;
+  void wheel_enqueue(HeapRec rec);
+  /// Decides level/slot for `tick` relative to cur_tick_; returns false
+  /// when the tick lies beyond the top window (overflow heap).
+  [[nodiscard]] bool wheel_target(std::uint64_t tick, unsigned& level, std::size_t& slot) const;
+  /// Places `rec` into the correct level relative to cur_tick_, or into
+  /// the overflow heap.  Pre: its tick >= cur_tick_, ready bucket aside.
+  void wheel_place(const HeapRec& rec, std::uint64_t tick);
+  std::uint32_t node_acquire(const HeapRec& rec);
+  void node_release(std::uint32_t idx);
+  void wheel_link(unsigned level, std::size_t slot, std::uint32_t node);
+  /// Refills ready_ with the next non-empty bucket; false when the wheel
+  /// and the overflow heap are both empty.
+  bool wheel_refill();
+  void wheel_cascade(unsigned level, std::size_t slot);
+  void wheel_pull_overflow();
+  /// First occupied slot >= from at `level`, or kWheelSlots when none.
+  [[nodiscard]] std::size_t wheel_scan(const WheelLevel& lvl, std::size_t from) const;
+  void wheel_mark(WheelLevel& lvl, std::size_t slot) {
+    lvl.occupied[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  }
+  void wheel_unmark(WheelLevel& lvl, std::size_t slot) {
+    lvl.occupied[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+
+  SchedulerConfig cfg_;
+  double inv_tick_ = 0.0;
+
+  /// Heap backend's queue; the wheel backend's far-future overflow.
   std::vector<HeapRec> heap_;
+
+  /// Wheel state (allocated only for the wheel backend).
+  std::unique_ptr<std::array<WheelLevel, kWheelLevels>> levels_;
+  std::vector<WheelNode> nodes_;
+  std::uint32_t node_free_ = kNilNode;
+  /// Cursor: every live wheel/overflow event has tick >= cur_tick_; the
+  /// bucket at cur_tick_ itself lives in ready_ while draining.
+  std::uint64_t cur_tick_ = 0;
+  /// Records of the bucket being drained, sorted ascending by (t, seq)
+  /// and consumed front-to-back.  Events scheduled mid-drain whose tick
+  /// is <= cur_tick_ are sorted into the un-consumed tail.
+  std::vector<HeapRec> ready_;
+  std::size_t ready_pos_ = 0;
+  bool ready_active_ = false;
+  /// Records parked in the wheel levels (stale ones included); excludes
+  /// ready_ and the overflow heap.
+  std::size_t wheel_count_ = 0;
+
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;

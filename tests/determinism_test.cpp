@@ -26,11 +26,13 @@ struct Fnv {
   }
 };
 
-std::uint64_t delivery_hash(Algorithm algo) {
+std::uint64_t delivery_hash(Algorithm algo,
+                            sim::SchedulerBackend backend = sim::SchedulerBackend::kHeap) {
   SimConfig cfg;
   cfg.algorithm = algo;
   cfg.n = 5;
   cfg.seed = 424242;
+  cfg.scheduler.backend = backend;
   cfg.fd_params.detection_time = 30.0;
   cfg.fd_params.wrong_suspicions = true;
   cfg.fd_params.mistake_recurrence = 2000.0;
@@ -70,6 +72,19 @@ TEST(GoldenSeed, GmDeliverySequenceMatchesPreRefactorCore) {
 // hidden global state in the refactored core).
 TEST(GoldenSeed, HashIsStableAcrossRepeatedRuns) {
   EXPECT_EQ(delivery_hash(Algorithm::kFd), delivery_hash(Algorithm::kFd));
+}
+
+// The timing-wheel scheduler backend must reproduce the heap backend's
+// delivery sequences bit-for-bit — same golden constants, not merely
+// self-consistency.  This is the protocol-stack-level proof that the two
+// backends order events identically (the scheduler unit tests fuzz the
+// same property on synthetic loads).
+TEST(GoldenSeed, WheelBackendMatchesHeapGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kWheel), kGoldenFd);
+}
+
+TEST(GoldenSeed, WheelBackendMatchesHeapGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel), kGoldenGm);
 }
 
 }  // namespace

@@ -3,6 +3,12 @@
 // generation-counted EventId semantics, a 1M-op randomized
 // schedule/cancel/fire stress run (exercised under ASan by the CI
 // sanitize job) and the zero-allocation steady-state guarantee.
+//
+// Every test runs against both pending-queue backends (4-ary heap and
+// hierarchical timing wheel) — they are required to be observably
+// identical.  The wheel-specific suite at the bottom additionally fuzzes
+// cross-backend order equivalence (ties, cancellations, nested schedules
+// and far-future overflow spills included).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 #include <new>
 #include <random>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -43,15 +50,25 @@ void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 namespace fdgm::sim {
 namespace {
 
-TEST(Scheduler, StartsAtTimeZero) {
-  Scheduler s;
+class SchedulerTest : public ::testing::TestWithParam<SchedulerBackend> {
+ protected:
+  [[nodiscard]] static SchedulerConfig cfg() { return SchedulerConfig{GetParam()}; }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, SchedulerTest,
+                         ::testing::Values(SchedulerBackend::kHeap, SchedulerBackend::kWheel),
+                         [](const auto& info) { return scheduler_backend_name(info.param); });
+
+TEST_P(SchedulerTest, StartsAtTimeZero) {
+  Scheduler s(cfg());
+  EXPECT_EQ(s.backend(), GetParam());
   EXPECT_EQ(s.now(), 0.0);
   EXPECT_EQ(s.executed(), 0u);
   EXPECT_EQ(s.pending(), 0u);
 }
 
-TEST(Scheduler, ExecutesInTimestampOrder) {
-  Scheduler s;
+TEST_P(SchedulerTest, ExecutesInTimestampOrder) {
+  Scheduler s(cfg());
   std::vector<int> order;
   s.schedule_at(5.0, [&] { order.push_back(2); });
   s.schedule_at(1.0, [&] { order.push_back(1); });
@@ -61,32 +78,32 @@ TEST(Scheduler, ExecutesInTimestampOrder) {
   EXPECT_EQ(s.now(), 9.0);
 }
 
-TEST(Scheduler, EqualTimestampsRunFifo) {
-  Scheduler s;
+TEST_P(SchedulerTest, EqualTimestampsRunFifo) {
+  Scheduler s(cfg());
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) s.schedule_at(3.0, [&order, i] { order.push_back(i); });
   s.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
-  Scheduler s;
+TEST_P(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler s(cfg());
   double fired_at = -1;
   s.schedule_at(10.0, [&] { s.schedule_after(5.0, [&] { fired_at = s.now(); }); });
   s.run();
   EXPECT_EQ(fired_at, 15.0);
 }
 
-TEST(Scheduler, RejectsPastAndNegative) {
-  Scheduler s;
+TEST_P(SchedulerTest, RejectsPastAndNegative) {
+  Scheduler s(cfg());
   s.schedule_at(10.0, [] {});
   s.run();
   EXPECT_THROW(s.schedule_at(5.0, [] {}), std::invalid_argument);
   EXPECT_THROW(s.schedule_after(-1.0, [] {}), std::invalid_argument);
 }
 
-TEST(Scheduler, CancelPreventsExecution) {
-  Scheduler s;
+TEST_P(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s(cfg());
   bool fired = false;
   EventId id = s.schedule_at(1.0, [&] { fired = true; });
   EXPECT_TRUE(s.cancel(id));
@@ -94,8 +111,8 @@ TEST(Scheduler, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
-TEST(Scheduler, CancelReturnsFalseForUnknownOrDouble) {
-  Scheduler s;
+TEST_P(SchedulerTest, CancelReturnsFalseForUnknownOrDouble) {
+  Scheduler s(cfg());
   EventId id = s.schedule_at(1.0, [] {});
   EXPECT_FALSE(s.cancel(9999));
   EXPECT_TRUE(s.cancel(id));
@@ -103,8 +120,8 @@ TEST(Scheduler, CancelReturnsFalseForUnknownOrDouble) {
   s.run();
 }
 
-TEST(Scheduler, CancelledEventDoesNotAdvanceTime) {
-  Scheduler s;
+TEST_P(SchedulerTest, CancelledEventDoesNotAdvanceTime) {
+  Scheduler s(cfg());
   EventId id = s.schedule_at(100.0, [] {});
   s.schedule_at(1.0, [] {});
   s.cancel(id);
@@ -112,8 +129,44 @@ TEST(Scheduler, CancelledEventDoesNotAdvanceTime) {
   EXPECT_EQ(s.now(), 1.0);
 }
 
-TEST(Scheduler, RunUntilStopsAtBoundary) {
-  Scheduler s;
+TEST_P(SchedulerTest, ScheduleAfterDrainingPastCancelledFarEvent) {
+  // Regression: draining a queue whose tail was cancelled leaves the
+  // wheel cursor ahead of now(); a later schedule between now() and the
+  // cursor must still work (and fire in order with a new far event).
+  Scheduler s(cfg());
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  EventId far = s.schedule_at(100.0, [&] { order.push_back(99); });
+  s.cancel(far);
+  s.run();
+  EXPECT_EQ(s.now(), 1.0);
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(150.0, [&] { order.push_back(3); });
+  s.schedule_at(2.0, [&] { order.push_back(4); });  // FIFO tie behind the cursor
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_EQ(s.now(), 150.0);
+}
+
+TEST_P(SchedulerTest, ScheduleAfterDrainingPastCancelledOverflowEvent) {
+  // Same shape through the wheel's overflow heap: the cancelled event
+  // sits beyond the top window, so the drain takes the overflow-jump
+  // path before finding the queue empty.
+  Scheduler s(cfg());
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  EventId far = s.schedule_at(5.0e6, [&] { ++fired; });
+  s.cancel(far);
+  s.run();
+  EXPECT_EQ(s.now(), 1.0);
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 2.0);
+}
+
+TEST_P(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler s(cfg());
   std::vector<double> times;
   for (double t : {1.0, 2.0, 3.0, 4.0}) s.schedule_at(t, [&times, &s] { times.push_back(s.now()); });
   s.run_until(2.5);
@@ -124,22 +177,34 @@ TEST(Scheduler, RunUntilStopsAtBoundary) {
   EXPECT_EQ(s.now(), 10.0);
 }
 
-TEST(Scheduler, RunUntilInclusiveOfBoundaryEvents) {
-  Scheduler s;
+TEST_P(SchedulerTest, RunUntilInclusiveOfBoundaryEvents) {
+  Scheduler s(cfg());
   bool fired = false;
   s.schedule_at(2.0, [&] { fired = true; });
   s.run_until(2.0);
   EXPECT_TRUE(fired);
 }
 
-TEST(Scheduler, RunUntilAdvancesTimeWithEmptyQueue) {
-  Scheduler s;
+TEST_P(SchedulerTest, RunUntilAdvancesTimeWithEmptyQueue) {
+  Scheduler s(cfg());
   s.run_until(42.0);
   EXPECT_EQ(s.now(), 42.0);
 }
 
-TEST(Scheduler, StopHaltsRun) {
-  Scheduler s;
+TEST_P(SchedulerTest, ScheduleBetweenRunUntilBoundaries) {
+  // A peeked-but-not-due event must not block a later schedule that lands
+  // before it (regression guard for the wheel cursor's refill path).
+  Scheduler s(cfg());
+  std::vector<int> order;
+  s.schedule_at(100.0, [&] { order.push_back(2); });
+  s.run_until(50.0);  // peeks the t=100 event, leaves it pending
+  s.schedule_at(60.0, [&] { order.push_back(1); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_P(SchedulerTest, StopHaltsRun) {
+  Scheduler s(cfg());
   int count = 0;
   for (double t : {1.0, 2.0, 3.0}) {
     s.schedule_at(t, [&] {
@@ -155,8 +220,8 @@ TEST(Scheduler, StopHaltsRun) {
   EXPECT_EQ(count, 3);
 }
 
-TEST(Scheduler, MaxEventsGuard) {
-  Scheduler s;
+TEST_P(SchedulerTest, MaxEventsGuard) {
+  Scheduler s(cfg());
   // A self-rescheduling event would run forever without the guard.
   std::function<void()> loop = [&] { s.schedule_after(1.0, loop); };
   s.schedule_after(1.0, loop);
@@ -164,8 +229,8 @@ TEST(Scheduler, MaxEventsGuard) {
   EXPECT_EQ(n, 1000u);
 }
 
-TEST(Scheduler, EventsScheduledDuringExecutionAtSameTimeRun) {
-  Scheduler s;
+TEST_P(SchedulerTest, EventsScheduledDuringExecutionAtSameTimeRun) {
+  Scheduler s(cfg());
   std::vector<int> order;
   s.schedule_at(1.0, [&] {
     order.push_back(1);
@@ -176,15 +241,15 @@ TEST(Scheduler, EventsScheduledDuringExecutionAtSameTimeRun) {
   EXPECT_EQ(s.now(), 1.0);
 }
 
-TEST(Scheduler, ExecutedCounter) {
-  Scheduler s;
+TEST_P(SchedulerTest, ExecutedCounter) {
+  Scheduler s(cfg());
   for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
   s.run();
   EXPECT_EQ(s.executed(), 5u);
 }
 
-TEST(Scheduler, PendingCountExcludesCancelled) {
-  Scheduler s;
+TEST_P(SchedulerTest, PendingCountExcludesCancelled) {
+  Scheduler s(cfg());
   EventId a = s.schedule_at(1.0, [] {});
   s.schedule_at(2.0, [] {});
   EXPECT_EQ(s.pending(), 2u);
@@ -193,18 +258,18 @@ TEST(Scheduler, PendingCountExcludesCancelled) {
   s.run();
 }
 
-TEST(Scheduler, StepReturnsFalseWhenEmpty) {
-  Scheduler s;
+TEST_P(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler s(cfg());
   EXPECT_FALSE(s.step());
   s.schedule_at(1.0, [] {});
   EXPECT_TRUE(s.step());
   EXPECT_FALSE(s.step());
 }
 
-TEST(Scheduler, CancelAfterFireReturnsFalse) {
+TEST_P(SchedulerTest, CancelAfterFireReturnsFalse) {
   // Generation counting: once an event fired, its id must never cancel a
   // later event that happens to reuse the same slab slot.
-  Scheduler s;
+  Scheduler s(cfg());
   int fired = 0;
   EventId a = s.schedule_at(1.0, [&] { ++fired; });
   s.run();
@@ -216,9 +281,9 @@ TEST(Scheduler, CancelAfterFireReturnsFalse) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(Scheduler, OversizedCallbackStillWorks) {
+TEST_P(SchedulerTest, OversizedCallbackStillWorks) {
   // Callables beyond the inline slab buffer take the heap fallback.
-  Scheduler s;
+  Scheduler s(cfg());
   struct Big {
     double blob[16];
   } big{};
@@ -232,12 +297,13 @@ TEST(Scheduler, OversizedCallbackStillWorks) {
   EXPECT_EQ(seen, 42.0);
 }
 
-TEST(Scheduler, StressMillionOpsRandomizedCancellation) {
+TEST_P(SchedulerTest, StressMillionOpsRandomizedCancellation) {
   // 1M schedule/cancel/fire ops with randomized interleaving: every
   // scheduled event either fires exactly once or is cancelled exactly
   // once.  The CI sanitize job runs this under ASan/UBSan, which guards
-  // the slab's placement-new/relocate/destroy paths.
-  Scheduler s;
+  // the slab's placement-new/relocate/destroy paths — and, for the wheel
+  // backend, the bucket/cascade/overflow record paths.
+  Scheduler s(cfg());
   std::mt19937_64 rng(20260729);
   std::vector<EventId> open;
   std::uint64_t scheduled = 0;
@@ -247,10 +313,13 @@ TEST(Scheduler, StressMillionOpsRandomizedCancellation) {
   while (scheduled < kOps) {
     const std::uint64_t burst = 1 + rng() % 8;
     for (std::uint64_t i = 0; i < burst && scheduled < kOps; ++i) {
-      const double delay = static_cast<double>(rng() % 1000) * 0.1;
+      // Mostly short horizons; one in 512 lands far enough out to cross
+      // wheel levels, one in 4096 beyond the top window (overflow spill).
+      double delay = static_cast<double>(rng() % 1000) * 0.1;
+      if (rng() % 512 == 0) delay += static_cast<double>(rng() % 100'000);
+      if (rng() % 4096 == 0) delay += 2.0e6;
       const std::uint64_t token = scheduled;
-      open.push_back(
-          s.schedule_after(delay, [&hits, token] { hits += 1 + token % 2; }));
+      open.push_back(s.schedule_after(delay, [&hits, token] { hits += 1 + token % 2; }));
       ++scheduled;
     }
     if (!open.empty() && rng() % 4 == 0) {
@@ -267,8 +336,8 @@ TEST(Scheduler, StressMillionOpsRandomizedCancellation) {
   EXPECT_GE(hits, s.executed());  // every fired callback ran its body
 }
 
-TEST(Scheduler, SteadyStateZeroHeapAllocationsPerEvent) {
-  Scheduler s;
+TEST_P(SchedulerTest, SteadyStateZeroHeapAllocationsPerEvent) {
+  Scheduler s(cfg());
   std::uint64_t sink = 0;
   // Realistic ~40-byte capture, like a network pipeline stage closure.
   auto burst = [&s, &sink] {
@@ -280,8 +349,12 @@ TEST(Scheduler, SteadyStateZeroHeapAllocationsPerEvent) {
       });
     }
   };
-  burst();
-  s.run();  // warm-up: heap and slab grow to capacity
+  // Warm-up: heap/slab capacity, and (for the wheel) one full lap of the
+  // level-0 slots so every bucket the cursor will revisit has capacity.
+  for (int round = 0; round < 4; ++round) {
+    burst();
+    s.run();
+  }
   const std::uint64_t before = g_alloc_count;
   for (int round = 0; round < 50; ++round) {
     burst();
@@ -291,8 +364,8 @@ TEST(Scheduler, SteadyStateZeroHeapAllocationsPerEvent) {
   EXPECT_GT(sink, 0u);
 }
 
-TEST(Scheduler, SteadyStateZeroHeapAllocationsWithCancellation) {
-  Scheduler s;
+TEST_P(SchedulerTest, SteadyStateZeroHeapAllocationsWithCancellation) {
+  Scheduler s(cfg());
   std::uint64_t sink = 0;
   std::vector<EventId> ids(128);
   auto round = [&] {
@@ -302,10 +375,101 @@ TEST(Scheduler, SteadyStateZeroHeapAllocationsWithCancellation) {
     for (int i = 0; i < 128; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
     s.run();
   };
-  round();  // warm-up
+  for (int r = 0; r < 4; ++r) round();  // warm-up (see above)
   const std::uint64_t before = g_alloc_count;
   for (int r = 0; r < 50; ++r) round();
   EXPECT_EQ(g_alloc_count - before, 0u) << "O(1) cancel must not allocate";
+}
+
+// ------------------------------------------------------------------- wheel
+
+/// Executes a deterministic randomized load and records every firing as
+/// (time, token): N initial events over quantized times (forcing FIFO
+/// ties), ~25% cancellations, nested follow-up schedules from inside
+/// callbacks, and a far-future slice spilling into the wheel's overflow.
+std::vector<std::pair<double, std::uint64_t>> firing_trace(
+    SchedulerBackend backend, std::uint64_t seed, double tick = SchedulerConfig{}.wheel_tick_ms) {
+  Scheduler s(SchedulerConfig{backend, tick});
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<double, std::uint64_t>> fired;
+  std::vector<EventId> ids;
+  constexpr int kEvents = 4000;
+  for (std::uint64_t token = 0; token < kEvents; ++token) {
+    double t = static_cast<double>(rng() % 2000) * 0.25;  // quantized: many ties
+    if (rng() % 64 == 0) t += static_cast<double>(rng() % 3) * 1.5e6;  // overflow band
+    ids.push_back(s.schedule_at(t, [&s, &fired, token] {
+      fired.emplace_back(s.now(), token);
+      if (token % 3 == 0) {
+        const std::uint64_t follow = token + 1'000'000;
+        s.schedule_after(static_cast<double>(token % 7) * 0.25,
+                         [&s, &fired, follow] { fired.emplace_back(s.now(), follow); });
+      }
+    }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 4) s.cancel(ids[i]);
+  // Interleave bounded drains with run_until boundaries and late arrivals.
+  s.run_until(120.0);
+  s.schedule_at(130.5, [&s, &fired] { fired.emplace_back(s.now(), 42'000'000); });
+  s.run(500);
+  s.run();
+  return fired;
+}
+
+TEST(SchedulerWheel, FiringOrderBitIdenticalToHeap) {
+  for (std::uint64_t seed : {1ull, 7ull, 20260729ull}) {
+    const auto heap = firing_trace(SchedulerBackend::kHeap, seed);
+    const auto wheel = firing_trace(SchedulerBackend::kWheel, seed);
+    ASSERT_EQ(heap.size(), wheel.size()) << "seed " << seed;
+    EXPECT_EQ(heap, wheel) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerWheel, FarFutureOverflowFiresInOrder) {
+  // Events far beyond the top wheel window (~17 simulated minutes at the
+  // default tick) route through the overflow heap and must still fire in
+  // global (t, seq) order, interleaved with near events scheduled later.
+  Scheduler s(SchedulerConfig{SchedulerBackend::kWheel});
+  std::vector<int> order;
+  s.schedule_at(5.0e6, [&] { order.push_back(4); });
+  s.schedule_at(2.5e6, [&] { order.push_back(3); });
+  s.schedule_at(2.5e6, [&] { order.push_back(5); });  // FIFO tie across windows
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(100.0, [&] {
+    order.push_back(2);
+    s.schedule_after(6.0e6, [&] { order.push_back(6); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5, 4, 6}));
+  EXPECT_EQ(s.now(), 100.0 + 6.0e6);
+}
+
+TEST(SchedulerWheel, CancelAcrossLevelsAndOverflow) {
+  Scheduler s(SchedulerConfig{SchedulerBackend::kWheel});
+  int fired = 0;
+  EventId near = s.schedule_at(0.5, [&] { ++fired; });
+  EventId mid = s.schedule_at(500.0, [&] { ++fired; });
+  EventId far = s.schedule_at(3.0e6, [&] { ++fired; });
+  s.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(near));
+  EXPECT_TRUE(s.cancel(mid));
+  EXPECT_TRUE(s.cancel(far));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 1.0);  // cancelled far-future events advance nothing
+}
+
+TEST(SchedulerWheel, RejectsNonPositiveTick) {
+  EXPECT_THROW(Scheduler(SchedulerConfig{SchedulerBackend::kWheel, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Scheduler(SchedulerConfig{SchedulerBackend::kWheel, -1.0}), std::invalid_argument);
+}
+
+TEST(SchedulerWheel, CoarseAndFineTicksPreserveOrder) {
+  // The tick size is a pure performance knob: any value must produce the
+  // heap backend's order (buckets re-sort by (t, seq) when drained).
+  const auto heap = firing_trace(SchedulerBackend::kHeap, 99);
+  for (double tick : {4.0, 0.001})
+    EXPECT_EQ(firing_trace(SchedulerBackend::kWheel, 99, tick), heap) << "tick " << tick;
 }
 
 }  // namespace
