@@ -39,6 +39,7 @@ struct Options {
   bool list = false;
   bool all = false;
   bool profile = false;
+  bool transport = false;
   fault::FaultSchedule faults;
   sim::SchedulerConfig scheduler;
 };
@@ -72,10 +73,15 @@ void print_usage() {
       "  --faults SPEC     inject a fault schedule into every simulation, e.g.\n"
       "                    \"crash p0 @500; partition {0,1|2} @1000 heal @3000\"\n"
       "                    (events: crash/recover p<i> @t; partition {..|..} @t\n"
-      "                    heal @t; loss <rate> @t for <dur>; delay x<f> @t for\n"
-      "                    <dur>; storm p<i>,.. @t for <dur>; see README)\n"
+      "                    heal @t; apartition p<i>,..->p<j>,.. @t heal @t;\n"
+      "                    loss <rate> @t for <dur>; delay x<f> @t for <dur>;\n"
+      "                    storm p<i>,.. @t for <dur>; see README)\n"
       "  --backend B       scheduler backend: heap | wheel (default heap);\n"
       "                    bit-identical results, different speed profiles\n"
+      "  --transport       arm the retransmission transport in every\n"
+      "                    simulation (sequence-numbered per-pair channels\n"
+      "                    that survive 'loss' faults; bit-identical to the\n"
+      "                    default when no loss fault is scheduled)\n"
       "  --profile         append per-scenario wall-clock, events/sec and\n"
       "                    peak-RSS columns to every table (these columns\n"
       "                    are machine-dependent, unlike the latencies)\n"
@@ -117,6 +123,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.all = true;
     } else if (a == "--profile") {
       opt.profile = true;
+    } else if (a == "--transport") {
+      opt.transport = true;
     } else if (a == "--help" || a == "-h") {
       print_usage();
       std::exit(0);
@@ -239,6 +247,8 @@ int run(const Options& opt) {
   ctx.seed = opt.seed;
   ctx.faults = opt.faults;
   ctx.scheduler = opt.scheduler;
+  ctx.transport.enabled = opt.transport;
+  ctx.profile = opt.profile;
 
   // One worker pool for the whole invocation: every scenario's fill_rows
   // reuses the same threads instead of spawning a pool per sweep.

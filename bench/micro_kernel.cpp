@@ -27,7 +27,9 @@
 
 #include "core/experiment.hpp"
 #include "net/system.hpp"
+#include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 // GCC pairs the malloc-backed operator new below with the free-backed
 // operator delete across inlining and flags a false mismatch; the pair
@@ -240,6 +242,81 @@ void BM_NetworkMulticastFanout(benchmark::State& state) {
   benchmark::DoNotOptimize(sys.network().messages_delivered());
 }
 BENCHMARK(BM_NetworkMulticastFanout);
+
+// Transport hot path, no loss: bidirectional unicast streams through the
+// armed retransmission transport (sequence stamping + piggyback-ack
+// bookkeeping + in-order release on every hop).  The no-loss path must
+// stay allocation-free: no ring pushes, no timers, no control frames —
+// allocs_per_event is asserted 0 by the perf-smoke CI job.
+void transport_pingpong_kernel(benchmark::State& state, sim::SchedulerBackend backend) {
+  net::System sys(2, net::NetworkConfig{}, 1, sim::SchedulerConfig{backend},
+                  transport::Config{.enabled = true});
+  class Sink final : public net::Layer {
+   public:
+    void on_message(const net::Message&) override {}
+  } sink;
+  sys.node(0).register_handler(net::ProtocolId::kApplication, &sink);
+  sys.node(1).register_handler(net::ProtocolId::kApplication, &sink);
+  const net::BlankPayload payload;
+  auto round = [&] {
+    for (int i = 0; i < 500; ++i) {
+      sys.node(0).send(1, net::ProtocolId::kApplication, &payload);
+      sys.node(1).send(0, net::ProtocolId::kApplication, &payload);
+    }
+    sys.scheduler().run();
+  };
+  for (int r = 0; r < 4; ++r) round();  // warm-up: grow slab/list capacity
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t msgs = 0;
+  for (auto _ : state) {
+    round();
+    msgs += 1000;
+  }
+  state.SetItemsProcessed(msgs);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(msgs);
+  benchmark::DoNotOptimize(sys.transport()->stats().data_frames);
+}
+
+void BM_TransportPingPong_heap(benchmark::State& state) {
+  transport_pingpong_kernel(state, sim::SchedulerBackend::kHeap);
+}
+BENCHMARK(BM_TransportPingPong_heap);
+
+void BM_TransportPingPong_wheel(benchmark::State& state) {
+  transport_pingpong_kernel(state, sim::SchedulerBackend::kWheel);
+}
+BENCHMARK(BM_TransportPingPong_wheel);
+
+// Transport recovery path: a 5%-lossy unidirectional stream — every round
+// drains completely, so the measured cost includes gap detection, NACKs,
+// timer rounds, retransmissions and duplicate-triggered ACKs.  This path
+// is allowed to allocate (control payloads live in the arena, rings grow
+// to the loss burst), so no allocs_per_event counter is reported.
+void BM_TransportLossyRecovery(benchmark::State& state) {
+  net::System sys(2, net::NetworkConfig{}, 1, sim::SchedulerConfig{},
+                  transport::Config{.enabled = true});
+  class Sink final : public net::Layer {
+   public:
+    void on_message(const net::Message&) override {}
+  } sink;
+  sys.node(0).register_handler(net::ProtocolId::kApplication, &sink);
+  sys.node(1).register_handler(net::ProtocolId::kApplication, &sink);
+  sim::Rng loss_rng(99);
+  const net::BlankPayload payload;
+  std::int64_t msgs = 0;
+  for (auto _ : state) {
+    sys.network().set_loss(0.05, &loss_rng);
+    for (int i = 0; i < 500; ++i) sys.node(0).send(1, net::ProtocolId::kApplication, &payload);
+    sys.scheduler().run();  // drains: every gap recovered, timers settled
+    sys.network().clear_loss();
+    sys.scheduler().run();
+    msgs += 500;
+  }
+  state.SetItemsProcessed(msgs);
+  benchmark::DoNotOptimize(sys.transport()->stats().retransmits);
+}
+BENCHMARK(BM_TransportLossyRecovery);
 
 void BM_AbcastSecond(benchmark::State& state) {
   // Cost of one simulated second of atomic broadcast at T=300/s, n=3.

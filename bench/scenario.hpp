@@ -39,6 +39,16 @@ struct ScenarioContext {
   /// simulation of every sweep.  Both backends are bit-identical (the
   /// CI diffs CSVs across them); the wheel pays off at large n.
   sim::SchedulerConfig scheduler;
+  /// Retransmission transport from the CLI (--transport), applied to
+  /// every simulation of every sweep.  With loss off an armed transport
+  /// is bit-identical to running without it (the CI diffs CSVs across
+  /// the two); scenarios that *require* the transport (lossy_throughput)
+  /// arm it themselves regardless of this flag.
+  transport::Config transport;
+  /// --profile: scenarios may append extra machine-independent
+  /// diagnostic columns (e.g. retransmissions/sec) that are omitted from
+  /// the default CSV layout.
+  bool profile = false;
 };
 
 struct Scenario {
@@ -85,6 +95,7 @@ inline core::SimConfig sim_config_ctx(core::Algorithm a, int n, const ScenarioCo
   core::SimConfig cfg = sim_config(a, n, lambda, ctx.seed);
   cfg.faults = ctx.faults;
   cfg.scheduler = ctx.scheduler;
+  cfg.transport = ctx.transport;
   return cfg;
 }
 

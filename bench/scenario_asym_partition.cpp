@@ -1,0 +1,75 @@
+// Asymmetric-partition scenario (beyond the paper): a 5-process system
+// suffers a *directed* link cut — one side can still be heard but cannot
+// hear (or vice versa) — which no symmetric partition can express.  Two
+// directions are swept:
+//
+//   maj->min   {p0,p1,p2} cannot reach {p3,p4}: the minority keeps
+//              injecting messages (they reach the sequencer/coordinator
+//              and get ordered promptly) but learns the order only at the
+//              heal;
+//   min->maj   {p3,p4} cannot reach {p0,p1,p2}: minority-origin messages
+//              wait for the heal before they can even be ordered, so the
+//              "cut" window carries their full outage latency.
+//
+// No failure detector fires either way (detection is QoS-driven, not
+// message-driven), so both stacks ride the cut without view changes —
+// the latency asymmetry between the two directions is pure transport
+// topology.
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr int kN = 5;
+constexpr double kPhase = 1500.0;  // pre / cut / healed phase length (ms)
+
+util::Table run_asym(const ScenarioContext& ctx) {
+  util::Table table({"n", "dir", "T [1/s]", "FD pre [ms]", "ci95", "FD cut [ms]", "ci95",
+                     "FD healed [ms]", "ci95", "GM pre [ms]", "ci95", "GM cut [ms]", "ci95",
+                     "GM healed [ms]", "ci95"});
+  std::vector<RowJob> jobs;
+  for (const char* dir : {"maj->min", "min->maj"}) {
+    for (double t : {50.0, 100.0}) {
+      jobs.push_back([dir, t, &ctx] {
+        const bool maj_to_min = dir[1] == 'a';  // "maj->min" vs "min->maj"
+        const double t0 = ctx.budget.warmup_ms;
+        const double t1 = t0 + kPhase;  // cut
+        const double t2 = t1 + kPhase;  // heal
+        const double t3 = t2 + kPhase;  // end of measurement
+
+        fault::FaultEvent cut;
+        cut.kind = fault::FaultKind::kAsymPartition;
+        const std::vector<net::ProcessId> maj{0, 1, 2};
+        const std::vector<net::ProcessId> min{3, 4};
+        cut.groups = maj_to_min ? std::vector<std::vector<net::ProcessId>>{maj, min}
+                                : std::vector<std::vector<net::ProcessId>>{min, maj};
+        cut.at = t1;
+        cut.until = t2;
+
+        core::WindowedConfig wc;
+        wc.throughput = t;
+        wc.t_end = t3;
+        wc.windows = {{t0, t1}, {t1, t2}, {t2, t3}};
+        wc.replicas = ctx.budget.replicas;
+
+        std::vector<std::string> row{std::to_string(kN), dir, util::Table::cell(t, 0)};
+        for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+          core::SimConfig cfg = sim_config_ctx(algo, kN, ctx);
+          cfg.faults.add(cut);
+          add_window_cells(row, core::run_windowed(cfg, wc));
+        }
+        return row;
+      });
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"asym_partition",
+                             "Asymmetric partition: latency before/during/after a "
+                             "one-way majority/minority link cut",
+                             "beyond paper", run_asym}};
+
+}  // namespace
+}  // namespace fdgm::bench

@@ -33,7 +33,7 @@ SimRun::SimRun(const SimConfig& cfg, WorkloadConfig wl) : cfg_(cfg) {
   if (cfg.n < 1) throw std::invalid_argument("SimRun: n must be >= 1");
   net::NetworkConfig net_cfg;
   net_cfg.lambda = cfg.lambda;
-  sys_ = std::make_unique<net::System>(cfg.n, net_cfg, cfg.seed, cfg.scheduler);
+  sys_ = std::make_unique<net::System>(cfg.n, net_cfg, cfg.seed, cfg.scheduler, cfg.transport);
   fd_model_ = std::make_unique<fd::QosFailureDetectorModel>(*sys_, cfg.fd_params);
 
   procs_.reserve(static_cast<std::size_t>(cfg.n));

@@ -48,6 +48,11 @@ struct SimConfig {
   /// RNG is a fork of the replica master seed), so replicas stay
   /// independent and results are bit-identical for any job count.
   fault::FaultSchedule faults;
+  /// Retransmission transport (src/transport/): when enabled, every
+  /// point-to-point delivery travels a sequence-numbered per-pair channel
+  /// that survives message loss (NACK + backoff-timer recovery).  With
+  /// loss off the armed transport is bit-identical to running without it.
+  transport::Config transport;
 };
 
 /// Process-wide count of scheduler events executed by completed (i.e.

@@ -15,7 +15,20 @@ struct ReplicaOutcome {
   bool stable = false;
   std::size_t samples = 0;
   std::uint64_t events = 0;
+  double sim_ms = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
 };
+
+/// Copies the transport counters (and the simulated horizon) out of a
+/// finished replica; no-op without an armed transport.
+void capture_run_stats(SimRun& run, ReplicaOutcome& o) {
+  o.sim_ms = run.system().now();
+  if (const transport::Transport* t = run.system().transport()) {
+    o.retransmits = t->stats().retransmits;
+    o.dup_suppressed = t->stats().duplicates;
+  }
+}
 
 ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
                               const std::vector<net::ProcessId>& initial_crashes,
@@ -32,11 +45,15 @@ ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
   // measurement window and the minimum window length has elapsed.
   sim::Time t_end = t0;
   const double step = 250.0;
+  ReplicaOutcome out;
   while (true) {
     sched.run_until(sched.now() + step);
     t_end = sched.now();
-    if (run.recorder().stale_undelivered(sched.now(), sc.stale_age_ms) > sc.unstable_backlog)
-      return {0.0, false, 0, sched.executed()};
+    if (run.recorder().stale_undelivered(sched.now(), sc.stale_age_ms) > sc.unstable_backlog) {
+      out.events = sched.executed();
+      capture_run_stats(run, out);
+      return out;
+    }
     if (sched.now() > sc.max_time_ms) break;
     const bool enough_samples =
         run.recorder().broadcast_in_window(t0, t_end) >= sc.samples;
@@ -53,12 +70,21 @@ ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
   const sim::Time drain_deadline = sched.now() + 4.0 * sc.stale_age_ms;
   while (run.recorder().undelivered_in_window(t0, t_end) > 0) {
     sched.run_until(sched.now() + step);
-    if (sched.now() > drain_deadline) return {0.0, false, 0, sched.executed()};
+    if (sched.now() > drain_deadline) {
+      out.events = sched.executed();
+      capture_run_stats(run, out);
+      return out;
+    }
   }
 
+  out.events = sched.executed();
+  capture_run_stats(run, out);
   const util::RunningStats stats = run.recorder().window_stats(t0, t_end);
-  if (stats.count() == 0) return {0.0, false, 0, sched.executed()};
-  return {stats.mean(), true, stats.count(), sched.executed()};
+  if (stats.count() == 0) return out;
+  out.mean = stats.mean();
+  out.stable = true;
+  out.samples = stats.count();
+  return out;
 }
 
 /// One crash-transient replica; returns the probe latency, < 0 on failure.
@@ -97,6 +123,9 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
   PointResult out;
   for (const ReplicaOutcome& o : outcomes) {
     out.events += o.events;
+    out.sim_ms += o.sim_ms;
+    out.retransmits += o.retransmits;
+    out.dup_suppressed += o.dup_suppressed;
     if (!o.stable) {
       out.stable = false;
       continue;

@@ -43,6 +43,13 @@ struct PointResult {
   /// time gives the events/sec throughput of the simulator itself, which
   /// is what the scale_throughput scenarios and --profile report.
   std::uint64_t events = 0;
+  /// Simulated milliseconds, summed over every replica — the denominator
+  /// for "per simulated second" rates (retransmissions/sec).
+  double sim_ms = 0.0;
+  /// Retransmission-transport counters summed over the replicas; all zero
+  /// when SimConfig::transport is off (or the run saw no loss).
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
 };
 
 /// Steady-state scenarios.  `initial_crashes` are crashed at t=0 (use

@@ -18,6 +18,8 @@ const char* fault_kind_name(FaultKind k) {
       return "recover";
     case FaultKind::kPartition:
       return "partition";
+    case FaultKind::kAsymPartition:
+      return "apartition";
     case FaultKind::kLoss:
       return "loss";
     case FaultKind::kDelaySpike:
@@ -195,6 +197,21 @@ FaultEvent parse_event(std::string_view event_text) {
     if (e.until < e.at) fail("heal time precedes the partition", event_text);
     return e;
   }
+  if (verb == "apartition") {
+    e.kind = FaultKind::kAsymPartition;
+    if (toks.size() != 5 || toks[3] != "heal")
+      fail("expected 'apartition p<i>,..->p<j>,.. @<time> heal @<time>'", event_text);
+    const std::string& link = toks[1];
+    const std::size_t arrow = link.find("->");
+    if (arrow == std::string::npos || arrow == 0 || arrow + 2 >= link.size())
+      fail("expected '<senders>-><destinations>', got '" + link + "'", event_text);
+    e.groups.push_back(parse_pid_list(link.substr(0, arrow), event_text));
+    e.groups.push_back(parse_pid_list(link.substr(arrow + 2), event_text));
+    e.at = parse_at(toks[2], event_text);
+    e.until = parse_at(toks[4], event_text);
+    if (e.until < e.at) fail("heal time precedes the cut", event_text);
+    return e;
+  }
   if (verb == "loss") {
     e.kind = FaultKind::kLoss;
     if (toks.size() != 5) fail("expected 'loss <rate> @<time> for <duration>'", event_text);
@@ -261,6 +278,11 @@ std::string FaultSchedule::to_string() const {
         out += "} @" + format_number(e.at) + " heal @" + format_number(e.until);
         break;
       }
+      case FaultKind::kAsymPartition:
+        out += "apartition " + format_pid_list(e.groups.at(0)) + "->" +
+               format_pid_list(e.groups.at(1)) + " @" + format_number(e.at) + " heal @" +
+               format_number(e.until);
+        break;
       case FaultKind::kLoss:
         out += "loss " + format_number(e.rate) + " @" + format_number(e.at) + " for " +
                format_number(e.until - e.at);

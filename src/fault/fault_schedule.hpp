@@ -13,6 +13,10 @@
 //                                 {2}; processes not listed form one extra
 //                                 implicit group; cross-group messages are
 //                                 held and delivered at the heal time
+//   apartition p0,p1->p2 @1000 heal @3000
+//                                 cut the directed links p0->p2 and
+//                                 p1->p2 (messages held until the heal);
+//                                 the reverse direction keeps flowing
 //   loss 0.2 @1000 for 2000       drop 20% of point-to-point deliveries
 //                                 in [1000, 3000)
 //   delay x4 @1000 for 2000       multiply the network service time by 4
@@ -37,6 +41,7 @@ enum class FaultKind {
   kCrash,           // crash `process` at `at`
   kRecover,         // restart `process` at `at` (rejoin via the GM join path)
   kPartition,       // split into `groups` at `at`, heal at `until`
+  kAsymPartition,   // cut directed links groups[0] -> groups[1] in [at, until)
   kLoss,            // drop each delivery with probability `rate` in [at, until)
   kDelaySpike,      // multiply the network service time by `factor` in [at, until)
   kSuspicionStorm,  // force every alive monitor to suspect `accused` in [at, until)
@@ -53,7 +58,9 @@ struct FaultEvent {
   /// Target of a crash / recover.
   net::ProcessId process = -1;
   /// Partition groups; processes of the system not listed in any group
-  /// form one extra implicit group.
+  /// form one extra implicit group.  An asymmetric partition stores
+  /// exactly two groups: groups[0] = senders whose links are cut,
+  /// groups[1] = the unreachable destinations.
   std::vector<std::vector<net::ProcessId>> groups;
   /// Per-delivery drop probability in [0, 1] (loss).
   double rate = 0.0;

@@ -56,6 +56,21 @@ void Injector::fire(const FaultEvent& e) {
       break;
     }
 
+    case FaultKind::kAsymPartition: {
+      for (const auto& group : e.groups)
+        for (net::ProcessId p : group)
+          if (!valid_pid(p)) {
+            ++skipped_;
+            return;
+          }
+      sys_->network().set_asym_partition(e.groups.at(0), e.groups.at(1));
+      const std::uint64_t gen = ++apartition_gen_;
+      sys_->scheduler().schedule_at(e.until, [this, gen] {
+        if (gen == apartition_gen_) sys_->network().heal_asym_partition();
+      });
+      break;
+    }
+
     case FaultKind::kLoss: {
       sys_->network().set_loss(e.rate, &rng_);
       const std::uint64_t gen = ++loss_gen_;

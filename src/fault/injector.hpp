@@ -6,12 +6,19 @@
 //                     (SimRun wires it to AtomicBroadcastProcess::on_restart,
 //                     i.e. the GM rejoin / FD log-sync catch-up paths)
 //   Partition      -> net::Network::set_partition / heal_partition
+//   AsymPartition  -> net::Network::set_asym_partition / heal_asym_partition
+//                     (directed link cuts; the reverse direction flows)
 //   MessageLoss    -> net::Network::set_loss, drawing from the injector's
 //                     private RNG sub-stream (forked from the system master
 //                     seed, so a schedule never perturbs the workload or
 //                     failure-detector streams and replicas stay
 //                     bit-identical for any --jobs value)
 //   DelaySpike     -> net::Network::set_delay_factor
+//
+// When the retransmission transport is armed (SimConfig::transport), the
+// loss stage drops *transport frames* rather than logical messages: the
+// transport's NACK/timer machinery recovers every dropped frame, so the
+// stacks keep their quasi-reliable channels even under sustained loss.
 //   SuspicionStorm -> fd::QosFailureDetectorModel::inject_suspicion for
 //                     every alive (monitor, accused) pair
 //
@@ -71,6 +78,7 @@ class Injector {
   /// delay event only applies when no later event of the same kind
   /// replaced the setting (last writer wins).
   std::uint64_t partition_gen_ = 0;
+  std::uint64_t apartition_gen_ = 0;
   std::uint64_t loss_gen_ = 0;
   std::uint64_t delay_gen_ = 0;
 };

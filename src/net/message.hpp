@@ -33,6 +33,9 @@ enum class ProtocolId : std::uint8_t {
   kMembership,
   kStateTransfer,
   kWorkload,
+  /// Transport control frames (ACK / NACK).  Consumed by the transport
+  /// layer below the Node, never routed to a protocol handler.
+  kTransport,
   kCount,
 };
 
@@ -73,11 +76,31 @@ class BlankPayload final : public Payload {
   BlankPayload() : Payload(kProto, kKind) {}
 };
 
+/// Per-pair transport framing carried by every point-to-point delivery
+/// when the retransmission transport is armed (transport::Transport).
+/// `seq` holds the frame's sequence number in the ordered (src, dst)
+/// channel in its low 31 bits — 0 means "not a sequenced frame" — and a
+/// retransmission flag in the top bit; `ack` piggybacks the sender's
+/// cumulative ack for the reverse channel.  Kept to two words so Messages
+/// captured in scheduler-slab callbacks still fit the inline buffer.
+struct FrameHeader {
+  static constexpr std::uint32_t kRetxBit = 0x80000000u;
+  static constexpr std::uint32_t kSeqMask = 0x7fffffffu;
+
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+
+  [[nodiscard]] std::uint32_t seq_no() const { return seq & kSeqMask; }
+  [[nodiscard]] bool is_retx() const { return (seq & kRetxBit) != 0; }
+  [[nodiscard]] bool stamped() const { return seq_no() != 0; }
+};
+
 struct Message {
   ProcessId src = 0;
   ProcessId dst = 0;  // kBroadcast for multicast
   ProtocolId proto = ProtocolId::kApplication;
   PayloadPtr payload = nullptr;
+  FrameHeader frame;
 };
 
 /// Tag-checked downcast: returns nullptr when the payload has a different

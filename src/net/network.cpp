@@ -78,22 +78,34 @@ void Network::on_wire_done(const Message& m, std::uint32_t list) {
   // Fault filter, then stage 3: receive-side CPU processing, one job per
   // destination host.  filter_or_deliver only enqueues (no user callbacks
   // run synchronously), so the pooled list stays stable while we iterate.
-  for (ProcessId d : lists_[list].dsts) filter_or_deliver(m, d);
+  // The transport's frame stage stamps a per-destination copy first (the
+  // sequence number lives in the ordered-pair channel, so it cannot be
+  // shared across the fan-out).
+  for (ProcessId d : lists_[list].dsts) {
+    if (frame_stage_ != nullptr) {
+      Message f = m;
+      frame_stage_->stamp_frame(f, d);
+      filter_or_deliver(f, d);
+    } else {
+      filter_or_deliver(m, d);
+    }
+  }
   release_list(list);
 }
 
-/// The fault-filter stage proper: hold across a partition, drop with the
-/// loss probability, else enqueue the receive-side CPU job.  Also applied
-/// to messages re-injected by a heal, so a heal inside a loss window does
-/// not bypass the loss model.
+/// The fault-filter stage proper: hold across a partition (symmetric or
+/// directed), drop with the loss probability, else enqueue the
+/// receive-side CPU job.  Also applied to messages re-injected by a heal,
+/// so a heal inside a loss window does not bypass the loss model.
 void Network::filter_or_deliver(const Message& m, ProcessId d) {
-  if (partitioned(m.src, d)) {
+  if (partitioned(m.src, d) || asym_cut(m.src, d)) {
     held_.emplace_back(m, d);
     ++held_total_;
     return;
   }
   if (loss_rate_ > 0.0 && loss_rng_ != nullptr && loss_rng_->uniform() < loss_rate_) {
     ++lost_;
+    if (frame_stage_ != nullptr) frame_stage_->frame_dropped(m, d);
     return;
   }
   deliver_via_cpu(m, d);
@@ -130,13 +142,42 @@ void Network::set_partition(const std::vector<std::vector<ProcessId>>& groups) {
   // A replaced partition releases messages held across boundaries that no
   // longer exist; flushing through the new matrix keeps this simple and
   // deterministic (re-held if still unreachable).
-  std::vector<std::pair<Message, ProcessId>> pending;
-  pending.swap(held_);
-  for (auto& [m, d] : pending) filter_or_deliver(m, d);
+  refilter_held();
 }
 
 void Network::heal_partition() {
   group_of_.clear();
+  refilter_held();
+}
+
+void Network::set_asym_partition(const std::vector<ProcessId>& from,
+                                 const std::vector<ProcessId>& to) {
+  // Validate before touching state (same discipline as set_partition).
+  for (ProcessId p : from)
+    if (p < 0 || p >= num_processes())
+      throw std::out_of_range("Network::set_asym_partition: bad process id");
+  for (ProcessId p : to)
+    if (p < 0 || p >= num_processes())
+      throw std::out_of_range("Network::set_asym_partition: bad process id");
+  const std::size_t n = cpus_.size();
+  asym_blocked_.assign(n * n, 0);
+  for (ProcessId a : from)
+    for (ProcessId b : to)
+      if (a != b) asym_blocked_[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)] = 1;
+  // Re-filter held messages through the new cut: deliveries held by a cut
+  // that no longer exists are released (re-held if still unreachable).
+  refilter_held();
+}
+
+void Network::heal_asym_partition() {
+  asym_blocked_.clear();
+  refilter_held();
+}
+
+/// Re-runs every held delivery through the current filter state, in
+/// arrival order (re-held if still unreachable, subject to the loss model
+/// if a loss window is active — a heal does not bypass it).
+void Network::refilter_held() {
   std::vector<std::pair<Message, ProcessId>> pending;
   pending.swap(held_);
   for (auto& [m, d] : pending) filter_or_deliver(m, d);

@@ -25,6 +25,9 @@
 //     quasi-reliable, as the protocol stacks assume: a real transport
 //     retransmits across an outage) and re-injected, in arrival order,
 //     when the partition heals;
+//   * asymmetric partition — a directed cut: messages from the `from` set
+//     to the `to` set are held while the reverse direction flows normally
+//     (one-way link failures);
 //   * loss — each remaining delivery is dropped independently with a
 //     configurable probability (the "partial multicast loss" model
 //     variant; protocols tolerate it only via their repair paths);
@@ -66,6 +69,29 @@ class Network {
     ~Sink() = default;
   };
 
+  /// Transport hook: invoked once per remote destination, after the shared
+  /// medium finished and before the fault filter, on a per-destination
+  /// copy of the message.  The retransmission transport uses it to assign
+  /// per-pair sequence numbers and piggyback cumulative acks; stamping
+  /// runs in the wire-completion event (no extra scheduler events), so an
+  /// armed transport leaves loss-free runs bit-identical.
+  class FrameStage {
+   public:
+    virtual void stamp_frame(Message& m, ProcessId dst) = 0;
+
+    /// The loss filter dropped a stamped frame.  Closes the
+    /// held-then-healed race: a frame stamped under a loss-free filter is
+    /// not ring-buffered, but if a partition holds it and the heal lands
+    /// inside a later loss window, the re-injection runs the loss filter
+    /// again — the transport must learn about the drop or the channel
+    /// deadlocks on the missing sequence number.  Only invoked on actual
+    /// drops, so loss-free runs see no extra work.
+    virtual void frame_dropped(const Message& m, ProcessId dst) = 0;
+
+   protected:
+    ~FrameStage() = default;
+  };
+
   Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, Sink& sink);
 
   Network(const Network&) = delete;
@@ -92,6 +118,16 @@ class Network {
   [[nodiscard]] std::uint64_t cpu_uses(ProcessId p) const { return cpus_.at(p)->jobs(); }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
 
+  /// Current queueing horizons (ms until the resource drains), used by the
+  /// retransmission transport to keep its timeout patience above the
+  /// pipeline's instantaneous delay — the simulation-level equivalent of a
+  /// real transport's RTT estimator, and what prevents timeout
+  /// retransmissions from feeding a congestion collapse.
+  [[nodiscard]] double wire_backlog() const { return wire_.busy_until() - sched_->now(); }
+  [[nodiscard]] double cpu_backlog(ProcessId p) const {
+    return cpus_.at(static_cast<std::size_t>(p))->busy_until() - sched_->now();
+  }
+
   /// Optional tap observing every point-to-point delivery (tracing).
   void set_delivery_tap(std::function<void(const Message&, ProcessId)> tap) {
     tap_ = std::move(tap);
@@ -110,10 +146,35 @@ class Network {
   /// Are a and b currently on different sides of a partition?
   [[nodiscard]] bool partitioned(ProcessId a, ProcessId b) const;
 
+  /// Cut every directed link from a process in `from` to a process in
+  /// `to`: such deliveries are held (and re-injected at the heal) while
+  /// the reverse direction keeps flowing.  Replaces any earlier
+  /// asymmetric cut; held messages are re-filtered through the new cut.
+  void set_asym_partition(const std::vector<ProcessId>& from, const std::vector<ProcessId>& to);
+
+  /// Remove the directed cut and re-inject every held delivery.
+  void heal_asym_partition();
+
+  /// Is the directed link a -> b currently cut?
+  [[nodiscard]] bool asym_cut(ProcessId a, ProcessId b) const {
+    return !asym_blocked_.empty() &&
+           asym_blocked_[static_cast<std::size_t>(a) * cpus_.size() +
+                         static_cast<std::size_t>(b)] != 0;
+  }
+
   /// Drop each remote delivery with probability `rate`, drawing from `rng`
   /// (owned by the caller, typically the Injector's private sub-stream).
   void set_loss(double rate, sim::Rng* rng);
   void clear_loss() { loss_rate_ = 0.0; loss_rng_ = nullptr; }
+
+  /// Is the loss filter currently able to drop deliveries?  The
+  /// retransmission transport consults this at stamp time: a frame that
+  /// passes a loss-free filter cannot be dropped (partitions hold, they do
+  /// not lose), so it needs neither buffering nor a retransmission timer.
+  [[nodiscard]] bool loss_active() const { return loss_rate_ > 0.0 && loss_rng_ != nullptr; }
+
+  /// Arm (or disarm, with nullptr) the transport's frame-stamping stage.
+  void set_frame_stage(FrameStage* stage) { frame_stage_ = stage; }
 
   /// Multiply the shared medium's service time by `factor` (1 = normal).
   void set_delay_factor(double factor);
@@ -135,6 +196,7 @@ class Network {
   };
 
   void on_send_done(const Message& m, std::uint32_t list, bool self);
+  void refilter_held();
   void on_wire_done(const Message& m, std::uint32_t list);
   void filter_or_deliver(const Message& m, ProcessId d);
   void deliver_via_cpu(const Message& m, ProcessId d);
@@ -147,6 +209,7 @@ class Network {
   Resource wire_;
   std::vector<std::unique_ptr<Resource>> cpus_;
   Sink* sink_;
+  FrameStage* frame_stage_ = nullptr;
   std::function<void(const Message&, ProcessId)> tap_;
   std::uint64_t delivered_ = 0;
 
@@ -155,7 +218,10 @@ class Network {
 
   /// Partition group of each process; empty when no partition is active.
   std::vector<int> group_of_;
-  /// Cross-partition messages awaiting the heal, in arrival order.
+  /// Directed-cut matrix (row-major n*n); empty when no asymmetric
+  /// partition is active.
+  std::vector<std::uint8_t> asym_blocked_;
+  /// Cross-partition / cut-link messages awaiting a heal, in arrival order.
   std::vector<std::pair<Message, ProcessId>> held_;
   double loss_rate_ = 0.0;
   sim::Rng* loss_rng_ = nullptr;

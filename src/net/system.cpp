@@ -5,12 +5,17 @@
 namespace fdgm::net {
 
 System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
-               sim::SchedulerConfig sched_cfg)
+               sim::SchedulerConfig sched_cfg, transport::Config transport_cfg)
     : sched_(sched_cfg), rng_(seed) {
   if (num_processes <= 0) throw std::invalid_argument("System: need at least one process");
   // Plain new: the System& -> Network::Sink& conversion is only
   // accessible inside System (private base), not from std::make_unique.
   network_.reset(new Network(sched_, num_processes, cfg, *this));
+  if (transport_cfg.enabled) {
+    transport_.reset(new transport::Transport(sched_, *network_, arena_, num_processes,
+                                              transport_cfg, *this));
+    network_->set_frame_stage(transport_.get());
+  }
   nodes_.reserve(static_cast<std::size_t>(num_processes));
   all_.reserve(static_cast<std::size_t>(num_processes));
   for (int i = 0; i < num_processes; ++i) {

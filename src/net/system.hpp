@@ -1,8 +1,9 @@
 // System: the simulated distributed system — scheduler + network + nodes.
 //
-// Owns the discrete-event scheduler, the contention network and one Node
-// per process, and fans crash notifications out to interested components
-// (the failure-detector model, the experiment harness).
+// Owns the discrete-event scheduler, the contention network, the optional
+// retransmission transport and one Node per process, and fans crash
+// notifications out to interested components (the failure-detector model,
+// the experiment harness).
 #pragma once
 
 #include <functional>
@@ -15,13 +16,14 @@
 #include "net/node.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 namespace fdgm::net {
 
-class System : private Network::Sink {
+class System : private Network::Sink, private transport::Transport::Sink {
  public:
   System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
-         sim::SchedulerConfig sched_cfg = {});
+         sim::SchedulerConfig sched_cfg = {}, transport::Config transport_cfg = {});
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -30,6 +32,9 @@ class System : private Network::Sink {
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] const sim::Scheduler& scheduler() const { return sched_; }
   [[nodiscard]] Network& network() { return *network_; }
+  /// The retransmission transport; null when not armed.
+  [[nodiscard]] transport::Transport* transport() { return transport_.get(); }
+  [[nodiscard]] const transport::Transport* transport() const { return transport_.get(); }
   [[nodiscard]] Node& node(ProcessId p) { return *nodes_.at(static_cast<std::size_t>(p)); }
   [[nodiscard]] const Node& node(ProcessId p) const {
     return *nodes_.at(static_cast<std::size_t>(p));
@@ -75,13 +80,24 @@ class System : private Network::Sink {
   }
 
  private:
-  // Network::Sink — finished deliveries are routed to the target Node.
-  void deliver_message(const Message& m, ProcessId dst) override { node(dst).deliver(m); }
+  // Network::Sink — finished deliveries pass through the transport's
+  // receive side when it is armed (sequencing / dedup / control frames),
+  // and go straight to the target Node otherwise.
+  void deliver_message(const Message& m, ProcessId dst) override {
+    if (transport_ != nullptr)
+      transport_->on_frame(m, dst);
+    else
+      node(dst).deliver(m);
+  }
+
+  // transport::Transport::Sink — in-order logical messages.
+  void deliver_frame(const Message& m, ProcessId dst) override { node(dst).deliver(m); }
 
   sim::Scheduler sched_;
   sim::Rng rng_;
   PayloadArena arena_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<transport::Transport> transport_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<ProcessId> all_;
   std::vector<std::function<void(ProcessId, sim::Time)>> crash_listeners_;

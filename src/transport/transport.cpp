@@ -1,0 +1,279 @@
+#include "transport/transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fdgm::transport {
+
+Transport::Transport(sim::Scheduler& sched, net::Network& net, net::PayloadArena& arena,
+                     int num_processes, Config cfg, Sink& sink)
+    : sched_(&sched),
+      net_(&net),
+      arena_(&arena),
+      n_(num_processes),
+      cfg_(cfg),
+      sink_(&sink) {
+  if (num_processes <= 0) throw std::invalid_argument("Transport: need at least one process");
+  if (cfg_.rto_ms <= 0 || cfg_.backoff < 1.0 || cfg_.max_rto_ms < cfg_.rto_ms)
+    throw std::invalid_argument("Transport: bad retransmission timing config");
+  const std::size_t pairs =
+      static_cast<std::size_t>(num_processes) * static_cast<std::size_t>(num_processes);
+  send_.resize(pairs);
+  recv_.resize(pairs);
+}
+
+std::size_t Transport::outstanding(net::ProcessId a, net::ProcessId b) const {
+  const SendState& s = send_.at(idx(a, b));
+  return s.ring.size() - s.ring_head;
+}
+
+std::uint32_t Transport::expected_seq(net::ProcessId a, net::ProcessId b) const {
+  return recv_.at(idx(a, b)).expected;
+}
+
+void Transport::stamp_frame(net::Message& m, net::ProcessId dst) {
+  if (m.proto == net::ProtocolId::kTransport) return;  // control frames are unsequenced
+  SendState& s = send_[idx(m.src, dst)];
+  if (!m.frame.stamped()) {
+    if (s.next_seq > net::FrameHeader::kSeqMask)
+      throw std::logic_error("Transport: channel sequence space exhausted");
+    m.frame.seq = s.next_seq++;
+    ++stats_.data_frames;
+    // Only a frame the loss filter might drop needs recovery machinery: a
+    // partition holds (and re-injects in order), so with loss off the
+    // frame is guaranteed to arrive and the no-loss path stays free of
+    // buffering, timers and — with them — any deviation from the
+    // transport-less event sequence.
+    if (net_->loss_active()) {
+      s.ring.push_back(RingEntry{m, sched_->now()});
+      arm_timer(m.src, dst, s);
+    }
+  }
+  // Refresh the piggybacked cumulative ack of the reverse channel on
+  // every transmission, retransmissions included.
+  m.frame.ack = recv_[idx(dst, m.src)].expected - 1;
+}
+
+void Transport::frame_dropped(const net::Message& m, net::ProcessId dst) {
+  if (m.proto == net::ProtocolId::kTransport || !m.frame.stamped()) return;
+  SendState& s = send_[idx(m.src, dst)];
+  const std::uint32_t seq = m.frame.seq_no();
+  if (seq <= s.acked) return;  // already confirmed via an earlier copy
+  // The common case — the frame was stamped inside a loss window — finds
+  // its ring entry already present.  The insert path covers frames that
+  // were stamped loss-free, then *held* by a (possibly asymmetric)
+  // partition and dropped when the heal re-ran the filter inside a loss
+  // window: without an entry the channel would deadlock on the missing
+  // sequence number (NACKs would request a frame no ring holds).
+  const auto it = std::lower_bound(
+      s.ring.begin() + static_cast<std::ptrdiff_t>(s.ring_head), s.ring.end(), seq,
+      [](const RingEntry& e, std::uint32_t v) { return e.msg.frame.seq_no() < v; });
+  if (it != s.ring.end() && it->msg.frame.seq_no() == seq) return;
+  net::Message f = m;
+  f.frame.seq = seq;  // store the clean copy; retransmit() re-applies the retx bit
+  s.ring.insert(it, RingEntry{f, sched_->now()});
+  arm_timer(m.src, dst, s);
+}
+
+void Transport::note_heard(net::ProcessId self, net::ProcessId peer, bool data) {
+  SendState& s = send_[idx(self, peer)];
+  const sim::Time now = sched_->now();
+  if (s.heard >= 0.0) {
+    const double gap = now - s.heard;
+    // Decaying maximum: tracks the upper envelope of the peer's sending
+    // gaps (a mean would be dragged down by multicast bursts and make
+    // the blind timer fire before the peer's next piggyback is due).
+    s.rx_gap = std::max(gap, 0.875 * s.rx_gap);
+  }
+  s.heard = now;
+  if (data) s.rto = 0.0;  // live peer: backoff restarts from the base RTO
+}
+
+void Transport::on_frame(const net::Message& m, net::ProcessId dst) {
+  note_heard(dst, m.src, m.proto != net::ProtocolId::kTransport);
+  if (m.proto == net::ProtocolId::kTransport) {
+    handle_ctrl(m, dst);
+    return;
+  }
+  if (!m.frame.stamped()) {  // pre-transport traffic (tests); pass through
+    sink_->deliver_frame(m, dst);
+    return;
+  }
+  // Piggybacked cumulative ack for the reverse channel, processed even on
+  // duplicates — an old frame still carries fresh ack state.
+  ack_channel(dst, m.src, m.frame.ack);
+
+  RecvState& r = recv_[idx(m.src, dst)];
+  const std::uint32_t seq = m.frame.seq_no();
+  const bool retx = m.frame.is_retx();
+
+  if (seq < r.expected) {  // duplicate of an already-released frame
+    ++stats_.duplicates;
+    if (retx) send_ctrl(dst, m.src, TransportCtrl::Kind::kAck, 0);
+    return;
+  }
+  if (seq == r.expected) {
+    ++r.expected;
+    r.nack_gap = 0.0;  // frontier advanced: re-NACK backoff resets
+    sink_->deliver_frame(m, dst);
+    // Release buffered successors now contiguous with the new frontier.
+    std::size_t k = 0;
+    while (k < r.buffer.size() && r.buffer[k].frame.seq_no() == r.expected) {
+      ++r.expected;
+      sink_->deliver_frame(r.buffer[k], dst);
+      ++k;
+    }
+    if (k > 0)
+      r.buffer.erase(r.buffer.begin(), r.buffer.begin() + static_cast<std::ptrdiff_t>(k));
+    // An in-order retransmission means the original was lost and the
+    // sender is already backing off: confirm receipt explicitly so a
+    // channel without reverse traffic still converges (tail loss).
+    // First transmissions are never acked explicitly — the piggyback on
+    // reverse data traffic prunes the sender's ring for free, and the
+    // sender's timer waits out that cadence before retransmitting.
+    if (retx) send_ctrl(dst, m.src, TransportCtrl::Kind::kAck, 0);
+    return;
+  }
+
+  // Gap: park the frame (seq-sorted, duplicates suppressed) and NACK the
+  // missing prefix, rate-limited per channel.
+  const auto it = std::lower_bound(
+      r.buffer.begin(), r.buffer.end(), seq,
+      [](const net::Message& e, std::uint32_t s) { return e.frame.seq_no() < s; });
+  if (it != r.buffer.end() && it->frame.seq_no() == seq) {
+    ++stats_.duplicates;
+    if (retx) send_ctrl(dst, m.src, TransportCtrl::Kind::kAck, 0);
+    return;
+  }
+  r.buffer.insert(it, m);
+  ++stats_.buffered;
+  // Re-NACK spacing: exponential per stalled frontier, and never shorter
+  // than the current pipeline backlog — the requested retransmission has
+  // to work its way through the same queues, and re-NACKing into a loaded
+  // wire only deepens the load the recovery is waiting on.
+  if (r.nack_gap == 0.0) r.nack_gap = cfg_.nack_min_gap_ms;
+  const double nack_wait =
+      std::max(r.nack_gap, net_->wire_backlog() + net_->cpu_backlog(dst) +
+                               net_->cpu_backlog(m.src));
+  if (sched_->now() - r.last_nack >= nack_wait) {
+    r.last_nack = sched_->now();
+    r.nack_gap = std::min(r.nack_gap * 2.0, 16.0 * cfg_.nack_min_gap_ms);
+    send_ctrl(dst, m.src, TransportCtrl::Kind::kNack, r.buffer.front().frame.seq_no());
+  }
+  if (retx) send_ctrl(dst, m.src, TransportCtrl::Kind::kAck, 0);
+}
+
+void Transport::handle_ctrl(const net::Message& m, net::ProcessId dst) {
+  const TransportCtrl* c = net::payload_cast<TransportCtrl>(m);
+  if (c == nullptr) throw std::logic_error("Transport: foreign control payload");
+  ack_channel(dst, m.src, c->ack);
+  if (c->kind != TransportCtrl::Kind::kNack) return;
+  // Retransmit the unacked frames of the missing range (ack, hi) right
+  // away.  The spacing guard includes the instantaneous pipeline backlog:
+  // a copy submitted into a loaded wire takes that long to arrive, and a
+  // repeated NACK in the meantime is not evidence it was lost again.
+  SendState& s = send_[idx(dst, m.src)];
+  const double guard = cfg_.min_retx_spacing_ms + net_->wire_backlog() +
+                       net_->cpu_backlog(dst) + net_->cpu_backlog(m.src);
+  for (std::size_t i = s.ring_head; i < s.ring.size(); ++i) {
+    RingEntry& e = s.ring[i];
+    const std::uint32_t seq = e.msg.frame.seq_no();
+    if (seq <= c->ack) continue;
+    if (seq >= c->hi) break;  // ring is seq-sorted
+    if (sched_->now() - e.last_tx < guard) continue;
+    retransmit(m.src, e);
+    ++stats_.retx_nack;
+  }
+}
+
+void Transport::ack_channel(net::ProcessId a, net::ProcessId b, std::uint32_t ack) {
+  SendState& s = send_[idx(a, b)];
+  if (ack > s.acked) {
+    s.acked = ack;
+    while (s.ring_head < s.ring.size() && s.ring[s.ring_head].msg.frame.seq_no() <= ack)
+      ++s.ring_head;
+  }
+  if (s.ring_head == s.ring.size()) {
+    s.ring.clear();  // capacity retained; rto decays only via data contact
+    s.ring_head = 0;
+    if (s.timer != 0) {
+      sched_->cancel(s.timer);
+      s.timer = 0;
+    }
+    return;
+  }
+  if (s.ring_head > 64 && s.ring_head * 2 > s.ring.size()) {
+    s.ring.erase(s.ring.begin(), s.ring.begin() + static_cast<std::ptrdiff_t>(s.ring_head));
+    s.ring_head = 0;
+  }
+}
+
+void Transport::arm_timer(net::ProcessId a, net::ProcessId b, SendState& s) {
+  if (s.timer != 0) return;
+  if (s.rto == 0.0) s.rto = cfg_.rto_ms;
+  s.timer = sched_->schedule_after(s.rto, [this, a, b] { on_timer(a, b); });
+}
+
+void Transport::on_timer(net::ProcessId a, net::ProcessId b) {
+  SendState& s = send_[idx(a, b)];
+  s.timer = 0;
+  ++stats_.timer_rounds;
+  if (s.ring_head == s.ring.size()) {  // everything acked meanwhile
+    s.rto = 0.0;
+    return;
+  }
+  // Quiet-channel postponement: a blind retransmission is only justified
+  // once (a) the oldest unacked frame is older than the peer's observed
+  // reverse-gap envelope — a piggybacked ack is no longer plausibly on
+  // its way — AND (b) the current pipeline backlog (wire + both host
+  // CPUs) has been waited out: under congestion frames sit in FIFO
+  // queues far longer than any fixed RTO, and timeout duplicates are
+  // exactly what turns a loaded network into a collapsed one.  Deferral
+  // is one scheduler event, no traffic, floored at a coarse quantum (the
+  // postponed deadline lands exactly on age == patience, where rounding
+  // can leave `age` one ulp short — an unfloored re-deferral of ~1e-13 ms
+  // would not even advance simulated time, a same-instant event loop).
+  const double backlog = net_->wire_backlog() + net_->cpu_backlog(a) + net_->cpu_backlog(b);
+  const double patience = std::max(s.rto, cfg_.quiet_factor * s.rx_gap) + backlog;
+  const double age = sched_->now() - s.ring[s.ring_head].last_tx;
+  if (age + 0.125 <= patience) {
+    ++stats_.postponed;
+    s.timer = sched_->schedule_after(std::max(patience - age, 0.125),
+                                     [this, a, b] { on_timer(a, b); });
+    return;
+  }
+  // Probe with the oldest frame only: if everything was in fact delivered
+  // (the peer just had nothing to piggyback on), the duplicate-triggered
+  // cumulative ACK prunes the whole ring at the cost of one unicast; if
+  // it was genuinely lost, its in-order arrival both repairs the channel
+  // and acks everything buffered behind it.
+  RingEntry& e = s.ring[s.ring_head];
+  if (sched_->now() - e.last_tx >= cfg_.min_retx_spacing_ms) {
+    retransmit(b, e);
+    ++stats_.retx_timer;
+  }
+  s.rto = std::min(std::max(s.rto, cfg_.rto_ms) * cfg_.backoff, cfg_.max_rto_ms);
+  arm_timer(a, b, s);
+}
+
+void Transport::retransmit(net::ProcessId b, RingEntry& e) {
+  net::Message f = e.msg;
+  f.frame.seq |= net::FrameHeader::kRetxBit;
+  e.last_tx = sched_->now();
+  ++stats_.retransmits;
+  net_->submit(f, &b, 1, /*loopback_self=*/false);
+}
+
+void Transport::send_ctrl(net::ProcessId from, net::ProcessId to, TransportCtrl::Kind kind,
+                          std::uint32_t hi) {
+  const std::uint32_t ack = recv_[idx(to, from)].expected - 1;
+  const TransportCtrl* c = arena_->make<TransportCtrl>(kind, ack, hi);
+  if (kind == TransportCtrl::Kind::kNack)
+    ++stats_.nacks;
+  else
+    ++stats_.acks;
+  net::Message m{from, to, net::ProtocolId::kTransport, c, {}};
+  net_->submit(m, &to, 1, /*loopback_self=*/false);
+}
+
+}  // namespace fdgm::transport

@@ -1,0 +1,237 @@
+// Retransmission transport: per-pair, sequence-numbered quasi-reliable
+// channels between net::Network and the protocol stacks.
+//
+// The paper's stacks assume quasi-reliable channels (no loss between
+// correct processes), which the contention network only provides while the
+// loss fault is off.  This layer restores the assumption under sustained
+// message loss so the `loss` fault event can be driven through the full
+// FD- and GM-based atomic broadcast stacks:
+//
+//  * every remote point-to-point delivery is stamped — in the wire
+//    fan-out event, via Network::FrameStage — with a sequence number in
+//    the ordered (src, dst) channel plus a piggybacked cumulative ack for
+//    the reverse channel (FrameHeader in net/message.hpp);
+//  * receivers deliver frames to the Node in per-channel sequence order,
+//    park out-of-order frames in a pooled reorder buffer and answer gaps
+//    with a NACK carrying (cumulative ack, gap-triggering seq);
+//  * senders keep frames that might have been dropped in a pooled
+//    retransmission ring (payload handles point into the run's
+//    PayloadArena) and retransmit the NACKed range immediately — the
+//    channel pipeline is FIFO end to end, so a gap at the receiver is
+//    *sound* loss evidence even under congestion.  Rings are pruned by
+//    cumulative acks piggybacked on reverse data traffic (free);
+//    an exponential-backoff timer covers what NACKs cannot see: tail
+//    loss (the last frame of a conversation has no successor to reveal
+//    the gap) and silent peers.  The timer never floods: it waits out
+//    both the peer's observed reverse-traffic gap envelope and the
+//    current wire/CPU backlog (timeouts below the queueing delay are
+//    what turn load into congestion collapse), then probes with the
+//    single oldest frame — if everything was in fact delivered, the
+//    duplicate-triggered cumulative ACK prunes the whole ring for the
+//    cost of one unicast;
+//  * retransmitted frames carry a retx flag that makes the receiver
+//    answer with an explicit cumulative ACK, so a sender whose peer has
+//    no reverse traffic still learns the outcome and stops.
+//
+// Bit-identity when loss is off: the simulator knows whether the loss
+// filter can drop a frame at the instant the frame is stamped (stamping
+// and filtering run in the same wire-completion event, and partitions
+// hold rather than drop).  A frame stamped under a loss-free filter is
+// guaranteed to arrive, so it is neither buffered nor timed — stamping
+// degenerates to counter arithmetic on the per-destination copy.  An
+// armed transport therefore adds zero scheduler events, zero RNG draws
+// and zero heap allocations to a loss-free run: delivery sequences,
+// event counts and every results CSV are bit-identical to the transport-
+// less tree (asserted by tests/determinism_test.cpp golden hashes).
+//
+// Crash semantics: the transport lives below the Node's crash line (the
+// host kernel, in real-system terms).  The software-crash model keeps the
+// host CPU serving jobs, so channels keep sequencing, acking and
+// retransmitting across a process crash; the payload of a frame delivered
+// to a crashed process is dropped at Node::deliver exactly as before, and
+// the stacks' recovery protocols (GM rejoin, FD log sync) catch up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/arena.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace fdgm::transport {
+
+struct Config {
+  /// Arm the transport (SimConfig::transport / fdgm_bench --transport).
+  bool enabled = false;
+  /// Initial retransmission timeout per channel (ms).
+  double rto_ms = 50.0;
+  /// RTO multiplier applied after every timer-driven retransmission round.
+  double backoff = 2.0;
+  /// Backoff ceiling (ms).
+  double max_rto_ms = 3200.0;
+  /// Base spacing between NACKs of one receiving channel (ms).  While
+  /// the same gap frontier persists, the spacing doubles per re-NACK
+  /// (capped at 16x) and resets when the frontier advances: re-NACKs
+  /// exist to cover a *lost* NACK, so their steady rate must track the
+  /// loss probability, not the arrival rate — every NACK burns a wire
+  /// slot the recovery is trying to free.
+  double nack_min_gap_ms = 10.0;
+  /// Quiet-channel factor: the timer does not blindly retransmit an
+  /// unacked frame younger than `quiet_factor` times the channel's
+  /// observed reverse-gap envelope (plus the instantaneous pipeline
+  /// backlog) — a piggybacked cumulative ack is still plausibly on its
+  /// way, and on the paper's shared-medium network (one wire slot per
+  /// message, multicast or not) blind per-destination retransmissions of
+  /// delivered frames are what saturates the bus at large n.  The timer
+  /// postpones instead (a pure scheduler event, no traffic); genuinely
+  /// lost frames are recovered much earlier by NACKs.
+  double quiet_factor = 2.0;
+  /// A frame is not retransmitted again within this window of its
+  /// previous transmission (ms) — long enough for an in-flight copy to
+  /// land on an idle pipeline (one network RTT is 2(2λ+1) = 6 ms at the
+  /// paper's λ = 1), so re-triggered NACKs don't duplicate a recovery
+  /// already under way.
+  double min_retx_spacing_ms = 10.0;
+};
+
+/// Aggregate counters over every channel of one system.
+struct Stats {
+  std::uint64_t data_frames = 0;   ///< fresh frames stamped
+  std::uint64_t retransmits = 0;   ///< frame retransmissions (all triggers)
+  std::uint64_t retx_nack = 0;     ///< ... triggered by a NACK (gap evidence)
+  std::uint64_t retx_timer = 0;    ///< ... timer probes (tail / silent peer)
+  std::uint64_t duplicates = 0;    ///< frames suppressed at receivers
+  std::uint64_t buffered = 0;      ///< out-of-order frames parked
+  std::uint64_t nacks = 0;         ///< NACK control frames sent
+  std::uint64_t acks = 0;          ///< explicit ACK control frames sent
+  std::uint64_t timer_rounds = 0;  ///< retransmission-timer firings
+  std::uint64_t postponed = 0;     ///< timer rounds deferred to the peer's cadence
+};
+
+/// Control frame payload (ACK / NACK), allocated from the run's arena.
+/// Control frames are fire-and-forget: the loss filter may drop them; the
+/// retransmission timer is the backstop.
+class TransportCtrl final : public net::Payload {
+ public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kTransport;
+  static constexpr std::uint8_t kKind = 0;
+
+  enum class Kind : std::uint8_t { kAck, kNack };
+
+  TransportCtrl(Kind kind, std::uint32_t ack, std::uint32_t hi)
+      : Payload(kProto, kKind), kind(kind), ack(ack), hi(hi) {}
+
+  Kind kind;
+  /// Cumulative ack of the sender's receiving channel: every frame with
+  /// seq <= ack has been received (in order).
+  std::uint32_t ack;
+  /// NACK only: the gap-triggering seq; the peer retransmits its unacked
+  /// frames in (ack, hi).
+  std::uint32_t hi;
+};
+
+class Transport final : public net::Network::FrameStage {
+ public:
+  /// Receiver of in-order logical messages (net::System routes them to
+  /// the destination Node).
+  class Sink {
+   public:
+    virtual void deliver_frame(const net::Message& m, net::ProcessId dst) = 0;
+
+   protected:
+    ~Sink() = default;
+  };
+
+  Transport(sim::Scheduler& sched, net::Network& net, net::PayloadArena& arena,
+            int num_processes, Config cfg, Sink& sink);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // net::Network::FrameStage — sender side, wire fan-out event.
+  void stamp_frame(net::Message& m, net::ProcessId dst) override;
+  void frame_dropped(const net::Message& m, net::ProcessId dst) override;
+
+  /// Receive side: every finished network delivery passes through here
+  /// (control frames are consumed; data frames are released to the sink
+  /// in per-channel sequence order).
+  void on_frame(const net::Message& m, net::ProcessId dst);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Unacked frames currently buffered for retransmission on a -> b.
+  [[nodiscard]] std::size_t outstanding(net::ProcessId a, net::ProcessId b) const;
+  /// Next expected sequence number of the receiving side of a -> b.
+  [[nodiscard]] std::uint32_t expected_seq(net::ProcessId a, net::ProcessId b) const;
+
+ private:
+  /// Ring entry: the full frame (payload handle into the arena) plus its
+  /// last transmission time (suppresses NACK-driven duplicates).
+  struct RingEntry {
+    net::Message msg;
+    sim::Time last_tx = 0.0;
+  };
+
+  /// Sender side of one ordered channel.  POD-ish; rings and buffers keep
+  /// their capacity, so steady-state operation does not allocate.
+  struct SendState {
+    std::uint32_t next_seq = 1;
+    std::uint32_t acked = 0;  ///< all seq <= acked are confirmed received
+    std::vector<RingEntry> ring;
+    std::size_t ring_head = 0;  ///< ring[ring_head..) are live
+    sim::EventId timer = 0;     ///< 0 = no retransmission timer pending
+    /// Current backoff value (0 = base RTO).  Grows with every blind
+    /// timer round and resets only when *data* arrives from the peer —
+    /// control frames don't count, so channels to a crashed process (its
+    /// host kernel still acks) settle at the backoff ceiling instead of
+    /// cycling retransmissions at the base RTO forever.
+    double rto = 0.0;
+    /// Reverse-traffic bookkeeping: when this sender last heard anything
+    /// from the channel's peer, and a decaying *maximum* of the
+    /// inter-arrival gaps (ms; a mean would be skewed low by bursts).
+    /// Drives the quiet-channel postponement of the blind timer.
+    sim::Time heard = -1.0;
+    double rx_gap = 0.0;
+  };
+
+  /// Receiver side of one ordered channel.
+  struct RecvState {
+    std::uint32_t expected = 1;        ///< next in-order seq
+    std::vector<net::Message> buffer;  ///< out-of-order frames, seq-sorted
+    sim::Time last_nack = -1.0e300;
+    double nack_gap = 0.0;  ///< current re-NACK spacing (0 = base)
+  };
+
+  [[nodiscard]] std::size_t idx(net::ProcessId a, net::ProcessId b) const {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(b);
+  }
+
+  void handle_ctrl(const net::Message& m, net::ProcessId dst);
+  /// Apply a cumulative ack to channel a -> b (prune, maybe cancel timer).
+  void ack_channel(net::ProcessId a, net::ProcessId b, std::uint32_t ack);
+  void arm_timer(net::ProcessId a, net::ProcessId b, SendState& s);
+  void on_timer(net::ProcessId a, net::ProcessId b);
+  /// Record that `self` heard a frame from `peer` (gap envelope of the
+  /// reverse channel self -> peer; data contact resets the backoff).
+  void note_heard(net::ProcessId self, net::ProcessId peer, bool data);
+  void retransmit(net::ProcessId b, RingEntry& e);
+  void send_ctrl(net::ProcessId from, net::ProcessId to, TransportCtrl::Kind kind,
+                 std::uint32_t hi);
+
+  sim::Scheduler* sched_;
+  net::Network* net_;
+  net::PayloadArena* arena_;
+  int n_;
+  Config cfg_;
+  Sink* sink_;
+  std::vector<SendState> send_;  ///< n*n, row = sender
+  std::vector<RecvState> recv_;  ///< n*n, row = sender (channel direction)
+  Stats stats_;
+};
+
+}  // namespace fdgm::transport

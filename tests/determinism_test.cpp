@@ -27,12 +27,14 @@ struct Fnv {
 };
 
 std::uint64_t delivery_hash(Algorithm algo,
-                            sim::SchedulerBackend backend = sim::SchedulerBackend::kHeap) {
+                            sim::SchedulerBackend backend = sim::SchedulerBackend::kHeap,
+                            bool transport = false) {
   SimConfig cfg;
   cfg.algorithm = algo;
   cfg.n = 5;
   cfg.seed = 424242;
   cfg.scheduler.backend = backend;
+  cfg.transport.enabled = transport;
   cfg.fd_params.detection_time = 30.0;
   cfg.fd_params.wrong_suspicions = true;
   cfg.fd_params.mistake_recurrence = 2000.0;
@@ -85,6 +87,29 @@ TEST(GoldenSeed, WheelBackendMatchesHeapGoldenFd) {
 
 TEST(GoldenSeed, WheelBackendMatchesHeapGoldenGm) {
   EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel), kGoldenGm);
+}
+
+// The armed retransmission transport must be invisible on loss-free
+// channels: with nothing to recover it stamps frames (counter arithmetic
+// in the existing wire-completion events) but schedules no timers and
+// sends no control frames, so the delivery sequence AND the executed
+// event count reproduce the same golden constants — the strongest form
+// of the "bit-identical when loss is off" guarantee, checked for both
+// scheduler backends.
+TEST(GoldenSeed, TransportArmedMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kHeap, true), kGoldenFd);
+}
+
+TEST(GoldenSeed, TransportArmedMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kHeap, true), kGoldenGm);
+}
+
+TEST(GoldenSeed, TransportArmedWheelMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kWheel, true), kGoldenFd);
+}
+
+TEST(GoldenSeed, TransportArmedWheelMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel, true), kGoldenGm);
 }
 
 }  // namespace

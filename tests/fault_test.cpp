@@ -47,6 +47,8 @@ TEST(FaultSchedule, RoundTripsThroughToString) {
       "crash p1 @5; recover p1 @10; storm p0 @20 for 5",
       "crash p0 @123456.75",  // > 6 significant digits must survive
       "loss 0.2 @0.1 for 1e6",
+      "apartition p0,p1->p2 @1000 heal @3000",
+      "apartition p3->p0,p1,p2 @500 heal @501",
   };
   for (const char* spec : specs) {
     const FaultSchedule parsed = FaultSchedule::parse(spec);
@@ -73,6 +75,10 @@ TEST(FaultSchedule, RejectsMalformedInput) {
   EXPECT_THROW(FaultSchedule::parse("crash p1e300 @5"), std::invalid_argument);
   EXPECT_THROW(FaultSchedule::parse("crash p1.5 @5"), std::invalid_argument);
   EXPECT_THROW(FaultSchedule::parse("partition {0,1|1,2} @5 heal @9"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("apartition p0,p1 @5 heal @9"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("apartition ->p1 @5 heal @9"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("apartition p0-> @5 heal @9"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("apartition p0->p1 @9 heal @5"), std::invalid_argument);
   // Times that would corrupt or abort the scheduler must fail at parse.
   EXPECT_THROW(FaultSchedule::parse("crash p0 @-5"), std::invalid_argument);
   EXPECT_THROW(FaultSchedule::parse("crash p0 @nan"), std::invalid_argument);
@@ -144,6 +150,56 @@ TEST(FaultFilter, FullLossDropsEveryRemoteDelivery) {
   f.sys.scheduler().run();
   EXPECT_EQ(f.counters[1]->count, 1);
   EXPECT_EQ(f.counters[2]->count, 1);
+}
+
+TEST(FaultFilter, AsymPartitionCutsOnlyTheGivenDirection) {
+  NetFixture f(3);
+  f.sys.network().set_asym_partition({0}, {2});
+  EXPECT_TRUE(f.sys.network().asym_cut(0, 2));
+  EXPECT_FALSE(f.sys.network().asym_cut(2, 0));
+  f.sys.node(0).send(2, net::ProtocolId::kApplication, f.payload());  // held
+  f.sys.node(2).send(0, net::ProtocolId::kApplication, f.payload());  // flows
+  f.sys.node(0).send(1, net::ProtocolId::kApplication, f.payload());  // unrelated link
+  f.sys.scheduler().run();
+  EXPECT_EQ(f.counters[2]->count, 0);
+  EXPECT_EQ(f.counters[0]->count, 1);
+  EXPECT_EQ(f.counters[1]->count, 1);
+  EXPECT_EQ(f.sys.network().held_deliveries(), 1u);
+
+  f.sys.network().heal_asym_partition();
+  f.sys.scheduler().run();
+  EXPECT_EQ(f.counters[2]->count, 1);  // released at the heal
+}
+
+TEST(FaultFilter, AsymPartitionReplacementRefiltersHeldMessages) {
+  NetFixture f(3);
+  f.sys.network().set_asym_partition({0}, {1});
+  f.sys.node(0).send(1, net::ProtocolId::kApplication, f.payload());
+  f.sys.scheduler().run();
+  EXPECT_EQ(f.counters[1]->count, 0);
+  // The replacing cut no longer blocks 0 -> 1: the held message flows.
+  f.sys.network().set_asym_partition({1}, {2});
+  f.sys.scheduler().run();
+  EXPECT_EQ(f.counters[1]->count, 1);
+}
+
+TEST(FaultFilter, AsymPartitionRejectsBadIds) {
+  NetFixture f(2);
+  EXPECT_THROW(f.sys.network().set_asym_partition({0}, {7}), std::out_of_range);
+  EXPECT_THROW(f.sys.network().set_asym_partition({-1}, {0}), std::out_of_range);
+}
+
+TEST(Injector, AsymPartitionHoldsAndHealsOnSchedule) {
+  core::SimConfig cfg;
+  cfg.n = 3;
+  cfg.faults = FaultSchedule::parse("apartition p0->p2 @100 heal @400");
+  core::SimRun run(cfg, core::WorkloadConfig{.throughput = 10.0});
+  run.start();
+  run.run_until(200.0);
+  EXPECT_TRUE(run.system().network().asym_cut(0, 2));
+  EXPECT_FALSE(run.system().network().asym_cut(2, 0));
+  run.run_until(500.0);
+  EXPECT_FALSE(run.system().network().asym_cut(0, 2));
 }
 
 TEST(FaultFilter, CrashAtAndRestartAtDriveTheNodeLifecycle) {
@@ -333,6 +389,25 @@ TEST(Partition, DeliveryResumesAcrossTheHealBothAlgorithms) {
     run.run_until(12000.0);
     EXPECT_EQ(run.recorder().stale_undelivered(run.system().now(), 2000.0), 0u)
         << core::algorithm_name(algo) << ": messages lost across the partition";
+    EXPECT_GT(run.system().network().held_deliveries(), 0u);
+  }
+}
+
+TEST(Partition, AsymmetricCutDrainsAfterHealBothAlgorithms) {
+  for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+    core::SimConfig cfg;
+    cfg.algorithm = algo;
+    cfg.n = 5;
+    // The majority can be heard by the minority's senders but not reach
+    // them: minority members learn the order only at the heal.
+    cfg.faults = FaultSchedule::parse("apartition p0,p1,p2->p3,p4 @1000 heal @2500");
+    core::SimRun run(cfg, core::WorkloadConfig{.throughput = 100.0});
+    run.start();
+    run.run_until(6000.0);
+    run.workload().stop();
+    run.run_until(12000.0);
+    EXPECT_EQ(run.recorder().stale_undelivered(run.system().now(), 2000.0), 0u)
+        << core::algorithm_name(algo) << ": messages lost across the directed cut";
     EXPECT_GT(run.system().network().held_deliveries(), 0u);
   }
 }
