@@ -4,7 +4,6 @@
 // the paper's testbed, the shape is what gets compared in EXPERIMENTS.md.
 #pragma once
 
-#include <cstdlib>
 #include <vector>
 
 #include "core/runner.hpp"
@@ -19,15 +18,14 @@ struct BenchBudget {
   double max_time_ms = 90000.0;
 };
 
-inline BenchBudget budget_from_env() {
-  BenchBudget b;
-  if (const char* q = std::getenv("FDGM_BENCH_QUICK"); q && *q == '1') {
-    b.replicas = 2;
-    b.samples = 150;
-    b.warmup_ms = 800.0;
-    b.max_time_ms = 30000.0;
-  }
-  return b;
+/// The smoke-run budget (`--set quick=1`): fewer replicas and samples,
+/// shorter horizons.  Scenarios additionally read the `quick` flag to trim
+/// their sweeps (fewer group sizes / loads).
+inline void shrink_for_quick(BenchBudget& b) {
+  b.replicas = 2;
+  b.samples = 150;
+  b.warmup_ms = 800.0;
+  b.max_time_ms = 30000.0;
 }
 
 inline core::SteadyConfig steady_config(double throughput, const BenchBudget& b) {

@@ -5,8 +5,9 @@
 //   fdgm_bench --all --jobs 8            run everything on 8 workers
 //   fdgm_bench fig5 --format csv         machine-readable output
 //   fdgm_bench --all --out results/      one file per scenario
+//   fdgm_bench fig5 --set quick=1        smoke budget; per-scenario keys
+//                                        via repeated --set (see --list)
 //
-// FDGM_BENCH_QUICK=1 shrinks the replica/sample budget for smoke runs.
 // Results are bit-identical for every --jobs value (replica seeding and
 // row order do not depend on the worker count).
 #include <chrono>
@@ -40,9 +41,21 @@ struct Options {
   bool all = false;
   bool profile = false;
   bool transport = false;
+  bool batch = false;
   fault::FaultSchedule faults;
   sim::SchedulerConfig scheduler;
+  std::map<std::string, std::string> params;  // --set key=value
 };
+
+/// Driver-level --set keys, consumed before any scenario runs.
+const std::vector<ParamSpec>& driver_params() {
+  static const std::vector<ParamSpec> specs{
+      {"quick", "1 = smoke budget (fewer replicas/samples, trimmed sweeps)"},
+      {"replicas", "independent replica runs per point (default 3, quick: 2)"},
+      {"samples", "target measured messages per replica (default 400, quick: 150)"},
+  };
+  return specs;
+}
 
 /// Peak resident set size of this process in MB (0 when unavailable).
 double peak_rss_mb() {
@@ -82,13 +95,16 @@ void print_usage() {
       "                    simulation (sequence-numbered per-pair channels\n"
       "                    that survive 'loss' faults; bit-identical to the\n"
       "                    default when no loss fault is scheduled)\n"
+      "  --batch           arm submission batching + adaptive flow control\n"
+      "                    in every simulation (abcast::BatchConfig defaults)\n"
+      "  --set key=value   scenario/driver parameter, repeatable.  Driver\n"
+      "                    keys: quick=1 (smoke budget), replicas=N,\n"
+      "                    samples=N; per-scenario keys are listed by --list.\n"
+      "                    Unknown keys are rejected.\n"
       "  --profile         append per-scenario wall-clock, events/sec and\n"
       "                    peak-RSS columns to every table (these columns\n"
       "                    are machine-dependent, unlike the latencies)\n"
-      "  --help            this text\n"
-      "\n"
-      "Environment:\n"
-      "  FDGM_BENCH_QUICK=1   shrink replicas/samples for a smoke run\n";
+      "  --help            this text\n";
 }
 
 /// Strict unsigned parse: the whole string must be digits.
@@ -102,8 +118,14 @@ bool parse_u64(const char* s, std::uint64_t& out) {
 void print_list() {
   const auto& all = ScenarioRegistry::instance().all();
   std::printf("%-24s %-12s %s\n", "name", "figure", "title");
-  for (const Scenario& s : all)
+  for (const Scenario& s : all) {
     std::printf("%-24s %-12s %s\n", s.name.c_str(), s.figure.c_str(), s.title.c_str());
+    for (const ParamSpec& p : s.params)
+      std::printf("%24s   --set %s: %s\n", "", p.key.c_str(), p.help.c_str());
+  }
+  std::printf("\ndriver-level --set keys (any scenario):\n");
+  for (const ParamSpec& p : driver_params())
+    std::printf("  --set %s: %s\n", p.key.c_str(), p.help.c_str());
 }
 
 /// Returns false (after printing to stderr) on a malformed command line.
@@ -125,6 +147,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.profile = true;
     } else if (a == "--transport") {
       opt.transport = true;
+    } else if (a == "--batch") {
+      opt.batch = true;
+    } else if (a == "--set") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v || eq[1] == '\0') {
+        std::cerr << "fdgm_bench: --set expects key=value, got '" << v << "'\n";
+        return false;
+      }
+      opt.params[std::string(v, eq)] = std::string(eq + 1);
     } else if (a == "--help" || a == "-h") {
       print_usage();
       std::exit(0);
@@ -241,14 +274,43 @@ int run(const Options& opt) {
     return 2;
   }
 
+  // Every --set key must be declared, either by the driver or by some
+  // selected scenario — a typo'd key aborts instead of silently running
+  // the default sweep.
+  for (const auto& [key, value] : opt.params) {
+    bool known = false;
+    for (const ParamSpec& p : driver_params()) known |= p.key == key;
+    for (const Scenario* s : selected)
+      for (const ParamSpec& p : s->params) known |= p.key == key;
+    if (!known) {
+      std::cerr << "fdgm_bench: no selected scenario accepts --set " << key
+                << "; accepted keys:\n";
+      for (const ParamSpec& p : driver_params())
+        std::cerr << "  " << p.key << " (driver): " << p.help << '\n';
+      for (const Scenario* s : selected)
+        for (const ParamSpec& p : s->params)
+          std::cerr << "  " << p.key << " (" << s->name << "): " << p.help << '\n';
+      return 2;
+    }
+  }
+
   ScenarioContext ctx;
-  ctx.budget = budget_from_env();
+  ctx.params = opt.params;
   ctx.jobs = opt.jobs;
   ctx.seed = opt.seed;
   ctx.faults = opt.faults;
   ctx.scheduler = opt.scheduler;
   ctx.transport.enabled = opt.transport;
+  ctx.batching.enabled = opt.batch;
   ctx.profile = opt.profile;
+  try {
+    if (ctx.param_flag("quick")) shrink_for_quick(ctx.budget);
+    ctx.budget.replicas = ctx.param_u64("replicas", ctx.budget.replicas, 1, 64);
+    ctx.budget.samples = ctx.param_u64("samples", ctx.budget.samples, 10, 100000);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "fdgm_bench: " << e.what() << '\n';
+    return 2;
+  }
 
   // One worker pool for the whole invocation: every scenario's fill_rows
   // reuses the same threads instead of spawning a pool per sweep.

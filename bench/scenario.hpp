@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,6 +52,78 @@ struct ScenarioContext {
   /// diagnostic columns (e.g. retransmissions/sec) that are omitted from
   /// the default CSV layout.
   bool profile = false;
+  /// Submission batching from the CLI (--batch), applied to every
+  /// simulation of every sweep.  Scenarios with dedicated batched rows
+  /// (saturation_knee, the "-b" modes) arm it themselves per row.
+  abcast::BatchConfig batching;
+  /// Per-scenario parameters from the CLI (`--set key=value`, repeatable).
+  /// The driver rejects keys that no selected scenario (and no driver
+  /// knob) declares; values are validated by the typed getters below.
+  std::map<std::string, std::string> params;
+
+  /// `--set key=1` / `key=0` flag (absent: false).
+  [[nodiscard]] bool param_flag(const std::string& key) const {
+    auto it = params.find(key);
+    if (it == params.end()) return false;
+    if (it->second == "1" || it->second == "true") return true;
+    if (it->second == "0" || it->second == "false") return false;
+    throw std::invalid_argument("--set " + key + " expects 0|1, got '" + it->second + "'");
+  }
+
+  [[nodiscard]] std::uint64_t param_u64(const std::string& key, std::uint64_t def,
+                                        std::uint64_t lo, std::uint64_t hi) const {
+    auto it = params.find(key);
+    if (it == params.end()) return def;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || v < lo || v > hi)
+      throw std::invalid_argument("--set " + key + " expects an integer in [" +
+                                  std::to_string(lo) + ", " + std::to_string(hi) + "], got '" +
+                                  it->second + "'");
+    return v;
+  }
+
+  [[nodiscard]] double param_double(const std::string& key, double def, double lo,
+                                    double hi) const {
+    auto it = params.find(key);
+    if (it == params.end()) return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || v < lo || v > hi)
+      throw std::invalid_argument("--set " + key + " expects a number in [" +
+                                  std::to_string(lo) + ", " + std::to_string(hi) + "], got '" +
+                                  it->second + "'");
+    return v;
+  }
+
+  /// Comma-separated integer list, each element range-checked.
+  [[nodiscard]] std::vector<int> param_ints(const std::string& key, std::vector<int> def,
+                                            int lo, int hi) const {
+    auto it = params.find(key);
+    if (it == params.end()) return def;
+    std::vector<int> out;
+    const std::string& s = it->second;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+      const std::size_t comma = std::min(s.find(',', pos), s.size());
+      char* end = nullptr;
+      const std::string tok = s.substr(pos, comma - pos);
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (tok.empty() || end == tok.c_str() || *end != '\0' || v < lo || v > hi)
+        throw std::invalid_argument("--set " + key + " expects comma-separated integers in [" +
+                                    std::to_string(lo) + ", " + std::to_string(hi) +
+                                    "], got '" + s + "'");
+      out.push_back(static_cast<int>(v));
+      pos = comma + 1;
+    }
+    return out;
+  }
+};
+
+/// One `--set` key a scenario accepts, with its --list help text.
+struct ParamSpec {
+  std::string key;
+  std::string help;
 };
 
 struct Scenario {
@@ -56,6 +131,8 @@ struct Scenario {
   std::string title;   // one-line description
   std::string figure;  // paper reference, e.g. "Fig. 5"
   std::function<util::Table(const ScenarioContext&)> run;
+  /// Accepted `--set` keys (beyond the driver-level quick/replicas/samples).
+  std::vector<ParamSpec> params;
 };
 
 class ScenarioRegistry {
@@ -96,6 +173,7 @@ inline core::SimConfig sim_config_ctx(core::Algorithm a, int n, const ScenarioCo
   cfg.faults = ctx.faults;
   cfg.scheduler = ctx.scheduler;
   cfg.transport = ctx.transport;
+  cfg.batching = ctx.batching;
   return cfg;
 }
 

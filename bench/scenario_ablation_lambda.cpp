@@ -31,7 +31,7 @@ util::Table run_lambda(const ScenarioContext& ctx) {
 
 const ScenarioRegistrar reg{{"ablation_lambda",
                              "Ablation: lambda sweep (CPU vs network bottleneck)", "paper §6.1",
-                             run_lambda}};
+                             run_lambda, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -36,7 +36,7 @@ util::Table run_nonuniform(const ScenarioContext& ctx) {
 
 const ScenarioRegistrar reg{{"ablation_nonuniform_gm",
                              "Ablation: the price of uniformity (non-uniform GM variant)",
-                             "paper §8", run_nonuniform}};
+                             "paper §8", run_nonuniform, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -69,7 +69,7 @@ util::Table run_asym(const ScenarioContext& ctx) {
 const ScenarioRegistrar reg{{"asym_partition",
                              "Asymmetric partition: latency before/during/after a "
                              "one-way majority/minority link cut",
-                             "beyond paper", run_asym}};
+                             "beyond paper", run_asym, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -67,7 +67,7 @@ util::Table run_churn(const ScenarioContext& ctx) {
 const ScenarioRegistrar reg{{"crash_recovery_churn",
                              "Crash-recovery churn: repeated crash+rejoin of one process, "
                              "GM view-change cost vs FD log sync",
-                             "beyond paper", run_churn}};
+                             "beyond paper", run_churn, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

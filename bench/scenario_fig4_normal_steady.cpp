@@ -29,7 +29,7 @@ util::Table run_fig4(const ScenarioContext& ctx) {
 }
 
 const ScenarioRegistrar reg{{"fig4", "Normal-steady scenario: latency vs throughput", "Fig. 4",
-                             run_fig4}};
+                             run_fig4, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

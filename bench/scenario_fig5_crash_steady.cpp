@@ -45,7 +45,7 @@ util::Table run_fig5(const ScenarioContext& ctx) {
 }
 
 const ScenarioRegistrar reg{{"fig5", "Crash-steady scenario: latency vs throughput", "Fig. 5",
-                             run_fig5}};
+                             run_fig5, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

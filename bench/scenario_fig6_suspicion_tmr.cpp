@@ -45,7 +45,7 @@ util::Table run_fig6(const ScenarioContext& ctx) {
 }
 
 const ScenarioRegistrar reg{{"fig6", "Suspicion-steady scenario: latency vs TMR (TM = 0)",
-                             "Fig. 6", run_fig6}};
+                             "Fig. 6", run_fig6, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -51,7 +51,7 @@ util::Table run_fig7(const ScenarioContext& ctx) {
 }
 
 const ScenarioRegistrar reg{{"fig7", "Suspicion-steady scenario: latency vs TM (TMR fixed)",
-                             "Fig. 7", run_fig7}};
+                             "Fig. 7", run_fig7, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

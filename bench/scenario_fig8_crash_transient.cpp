@@ -46,7 +46,7 @@ util::Table run_fig8(const ScenarioContext& ctx) {
 }
 
 const ScenarioRegistrar reg{{"fig8", "Crash-transient scenario: latency overhead vs throughput",
-                             "Fig. 8", run_fig8}};
+                             "Fig. 8", run_fig8, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -86,7 +86,7 @@ util::Table run_partition_churn(const ScenarioContext& ctx) {
 const ScenarioRegistrar reg{{"partition_churn",
                              "Partition overlapping crash/recovery churn: minority crash "
                              "mid-split, post-heal rejoin plus majority churn",
-                             "beyond paper", run_partition_churn}};
+                             "beyond paper", run_partition_churn, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -56,7 +56,7 @@ util::Table run_partition_heal(const ScenarioContext& ctx) {
 const ScenarioRegistrar reg{{"partition_heal",
                              "Partition-heal scenario: latency before/during/after a "
                              "minority-majority split",
-                             "beyond paper", run_partition_heal}};
+                             "beyond paper", run_partition_heal, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

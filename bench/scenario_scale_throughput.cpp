@@ -16,10 +16,13 @@
 // Column layout: the deterministic columns (latency) come first and the
 // wall-clock-dependent ones (Mev/s) last, so the CI can diff the
 // deterministic prefix bit-for-bit across scheduler backends.
+//
+// The "steady-b" rows at the end arm submission batching and push the
+// group-size axis past the unbatched ceiling — appended after the
+// original sweep so the previous CSV is a byte prefix of the new one.
+// `--set ns=...` / `--set batch_ns=...` override either axis (profiling
+// and the perf CI pin single sizes that way).
 #include <chrono>
-#include <cstdlib>
-#include <sstream>
-#include <stdexcept>
 
 #include "scenario.hpp"
 
@@ -46,29 +49,36 @@ Measured run_measured(const core::SimConfig& cfg, const core::SteadyConfig& sc,
 util::Table run_scale(const ScenarioContext& ctx) {
   util::Table table({"n", "mode", "T [1/s]", "FD [ms]", "FD ci95", "GM [ms]", "GM ci95",
                      "FD Mev/s", "GM Mev/s"});
-  const char* quick = std::getenv("FDGM_BENCH_QUICK");
-  std::vector<int> ns{8, 16, 32, 64, 128};
-  if (quick != nullptr && *quick == '1') ns = {8, 16, 32};
-  // Explicit override, e.g. FDGM_SCALE_NS="64,128" (profiling / perf CI).
-  if (const char* env = std::getenv("FDGM_SCALE_NS"); env != nullptr && *env != '\0') {
-    ns.clear();
-    std::istringstream is(env);
-    std::string tok;
-    while (std::getline(is, tok, ',')) {
-      char* end = nullptr;
-      const long v = std::strtol(tok.c_str(), &end, 10);
-      if (end == tok.c_str() || *end != '\0' || v < 2 || v > 4096)
-        throw std::invalid_argument("scale_throughput: bad FDGM_SCALE_NS entry '" + tok +
-                                    "' (comma-separated group sizes in 2..4096)");
-      ns.push_back(static_cast<int>(v));
-    }
-  }
+  const bool quick = ctx.param_flag("quick");
+  const std::vector<int> ns =
+      ctx.param_ints("ns", quick ? std::vector<int>{8, 16, 32}
+                                 : std::vector<int>{8, 16, 32, 64, 128},
+                     2, 4096);
+  // Batched extension: larger groups than the unbatched ceiling, steady
+  // only (one crashed process is the lossy family's subject).
+  const std::vector<int> ns_b =
+      ctx.param_ints("batch_ns", quick ? std::vector<int>{32}
+                                       : std::vector<int>{128, 192},
+                     2, 4096);
+
+  struct Point {
+    int n;
+    const char* mode;
+    bool batch;
+  };
+  std::vector<Point> points;
+  for (int n : ns)
+    for (const char* mode : {"steady", "crash"}) points.push_back({n, mode, false});
+  for (int n : ns_b) points.push_back({n, "steady-b", true});
 
   std::vector<RowJob> jobs;
-  for (int n : ns) {
-    for (const char* mode : {"steady", "crash"}) {
+  for (const Point& pt : points) {
+    {
+      const int n = pt.n;
+      const char* mode = pt.mode;
+      const bool batch = pt.batch;
       const bool crash = mode[0] == 'c';
-      jobs.push_back([n, crash, mode, &ctx] {
+      jobs.push_back([n, crash, batch, mode, &ctx] {
         core::SteadyConfig sc = steady_from_ctx(kThroughput, ctx);
         if (crash) sc.warmup_ms += 1000.0;  // absorb detection + view change
 
@@ -80,6 +90,7 @@ util::Table run_scale(const ScenarioContext& ctx) {
         std::vector<std::string> rates;
         for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
           core::SimConfig cfg = sim_config_ctx(algo, n, ctx);
+          cfg.batching.enabled = batch;  // per-row, independent of --batch
           cfg.fd_params.detection_time = 30.0;
           // O(n^2) renewal timers; system-wide mistake rate held constant
           // across n (see file comment).
@@ -103,8 +114,12 @@ util::Table run_scale(const ScenarioContext& ctx) {
 
 const ScenarioRegistrar reg{{"scale_throughput",
                              "Large-n scaling: abcast latency and simulator events/sec, "
-                             "n up to 128, steady and crash",
-                             "beyond paper", run_scale}};
+                             "n up to 192 (batched), steady and crash",
+                             "beyond paper",
+                             run_scale,
+                             {{"ns", "comma-separated unbatched group sizes (2..4096)"},
+                              {"batch_ns",
+                               "comma-separated batched steady-b group sizes (2..4096)"}}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -59,7 +59,7 @@ util::Table run_storm(const ScenarioContext& ctx) {
 const ScenarioRegistrar reg{{"suspicion_storm",
                              "Suspicion storms: correlated wrong suspicions of the "
                              "coordinator/sequencer vs Figs. 6-7's marginal sweep",
-                             "beyond paper", run_storm}};
+                             "beyond paper", run_storm, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

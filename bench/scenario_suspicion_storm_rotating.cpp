@@ -63,7 +63,7 @@ util::Table run_rotating(const ScenarioContext& ctx) {
 const ScenarioRegistrar reg{{"suspicion_storm_rotating",
                              "Rotating suspicion storms: the storm target cycles through "
                              "the group, one process per window",
-                             "beyond paper", run_rotating}};
+                             "beyond paper", run_rotating, {}}};
 
 }  // namespace
 }  // namespace fdgm::bench

@@ -18,6 +18,16 @@ using namespace fdgm;
 
 namespace {
 
+/// Prints every local A-delivery with its latency.
+struct DeliveryPrinter final : abcast::DeliverSink {
+  net::System* sys = nullptr;
+  net::ProcessId id = 0;
+  void on_deliver(const abcast::AppMessage& msg) override {
+    std::printf("  t=%5.1f ms   A-deliver(m) at p%d  (latency %.1f ms)\n", sys->now(), id,
+                sys->now() - msg.sent_at);
+  }
+};
+
 template <typename Proc>
 void trace(const char* name) {
   std::printf("--- %s algorithm: A-broadcast(m) at p1, n = 3, lambda = 1 ---\n", name);
@@ -46,11 +56,12 @@ void trace(const char* name) {
                 m.dst == net::kBroadcast ? " (multicast)" : "");
   });
 
-  for (auto& p : procs)
-    p->set_deliver_callback([&, id = p->id()](const abcast::AppMessage& msg) {
-      std::printf("  t=%5.1f ms   A-deliver(m) at p%d  (latency %.1f ms)\n", sys.now(), id,
-                  sys.now() - msg.sent_at);
-    });
+  std::vector<DeliveryPrinter> printers(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    printers[i].sys = &sys;
+    printers[i].id = procs[i]->id();
+    procs[i]->set_deliver_sink(&printers[i]);
+  }
 
   procs[1]->a_broadcast();
   sys.scheduler().run();

@@ -37,6 +37,17 @@ struct Replica {
   }
 };
 
+/// Applies each delivery to one replica and keeps feeding the run's
+/// latency recorder (replacing the sink SimRun installs by default).
+struct ReplicaSink final : abcast::DeliverSink {
+  Replica* replica = nullptr;
+  core::SimRun* run = nullptr;
+  void on_deliver(const abcast::AppMessage& m) override {
+    replica->apply(m);
+    run->recorder().on_deliver(m, run->system().now());
+  }
+};
+
 void run_service(core::Algorithm algo) {
   std::printf("--- replicated counter service over %s atomic broadcast ---\n",
               core::algorithm_name(algo));
@@ -48,12 +59,13 @@ void run_service(core::Algorithm algo) {
 
   core::SimRun run(cfg, core::WorkloadConfig{.throughput = 120.0});
   std::vector<Replica> replicas(3);
+  std::vector<ReplicaSink> sinks(3);
   util::RunningStats response_time;
   for (int p = 0; p < 3; ++p) {
-    run.proc(p).set_deliver_callback([&, p](const abcast::AppMessage& m) {
-      replicas[static_cast<std::size_t>(p)].apply(m);
-      run.recorder().on_deliver(m, run.system().now());
-    });
+    auto& sink = sinks[static_cast<std::size_t>(p)];
+    sink.replica = &replicas[static_cast<std::size_t>(p)];
+    sink.run = &run;
+    run.proc(p).set_deliver_sink(&sink);
   }
   run.start();
 

@@ -1,0 +1,105 @@
+#include "abcast/abcast.hpp"
+
+namespace fdgm::abcast {
+
+AtomicBroadcastProcess::AtomicBroadcastProcess(net::System& sys, net::ProcessId self,
+                                               BatchConfig batching)
+    : sys_(&sys), self_(self), batching_(batching) {}
+
+AtomicBroadcastProcess::~AtomicBroadcastProcess() {
+  if (flush_timer_ != 0) {
+    sys_->scheduler().cancel(flush_timer_);
+    flush_timer_ = 0;
+  }
+}
+
+MsgId AtomicBroadcastProcess::a_broadcast() {
+  if (sys_->node(self_).crashed()) return MsgId{};
+  const MsgId id{self_, next_msg_seq_++};
+  const AppMessage* msg = sys_->arena().make<AppMessage>(id, sys_->now());
+  enqueue_submission(msg);
+  return id;
+}
+
+void AtomicBroadcastProcess::enqueue_submission(AppMessagePtr msg) {
+  if (!batching_.enabled) {
+    // Bit-identity contract: the unbatched path is exactly the
+    // pre-batching hot path — no queue, no timer, no credit accounting.
+    submit_now(msg);
+    return;
+  }
+  ++in_flight_;
+  queue_.push_back(msg);
+  if (queue_.size() >= batch_target())
+    flush_queue();
+  else
+    arm_flush_timer();
+}
+
+std::size_t AtomicBroadcastProcess::batch_target() const {
+  if (!batching_.enabled) return 1;
+  // Adaptive k: every backlog_ref_ms of queueing horizon — time the next
+  // message would wait for the shared wire plus this host's CPU anyway —
+  // buys one more message of batching.  Idle system: k = 1, the flush is
+  // immediate and the batch path collapses to per-message submission.
+  const double backlog =
+      sys_->network().wire_backlog() + sys_->network().cpu_backlog(self_);
+  if (backlog <= 0.0) return 1;
+  const double extra = backlog / batching_.backlog_ref_ms;
+  if (extra >= static_cast<double>(batching_.max_batch - 1))
+    return batching_.max_batch;
+  return 1 + static_cast<std::size_t>(extra);
+}
+
+void AtomicBroadcastProcess::flush_queue() {
+  if (flush_timer_ != 0) {
+    sys_->scheduler().cancel(flush_timer_);
+    flush_timer_ = 0;
+  }
+  if (queue_.empty()) return;
+  ++batches_flushed_;
+  // Swap into the scratch vector: flush_batch may deliver synchronously,
+  // and a ReadySink can submit again from inside that delivery.  The two
+  // vectors ping-pong their capacity, so steady state does not allocate.
+  flushing_.clear();
+  flushing_.swap(queue_);
+  if (flushing_.size() == 1)
+    submit_now(flushing_.front());
+  else
+    flush_batch(flushing_.data(), flushing_.size());
+}
+
+void AtomicBroadcastProcess::arm_flush_timer() {
+  if (flush_timer_ != 0) return;
+  flush_timer_ = sys_->scheduler().schedule_after(batching_.flush_delay_ms, [this] {
+    flush_timer_ = 0;
+    // The queue survives a crash (stable storage, like the message
+    // counter); on_restart re-flushes it.
+    if (sys_->node(self_).crashed()) return;
+    flush_queue();
+  });
+}
+
+void AtomicBroadcastProcess::deliver(const AppMessage& m) {
+  if (m.id.origin == self_ && in_flight_ > 0) {
+    --in_flight_;
+    // Release edge: the window was exhausted and just reopened.
+    if (in_flight_ + 1 == batching_.credit_window && ready_sink_ != nullptr)
+      ready_sink_->on_submit_ready(self_);
+  }
+  if (deliver_sink_ != nullptr) deliver_sink_->on_deliver(m);
+}
+
+void AtomicBroadcastProcess::on_restart() {
+  if (flush_timer_ != 0) {
+    sys_->scheduler().cancel(flush_timer_);
+    flush_timer_ = 0;
+  }
+  // Accepted-but-unflushed submissions were recorded by the harness the
+  // moment a_broadcast returned; dropping them would leave recorded
+  // messages undeliverable forever.  Reissue them through the restarted
+  // algorithm (the overrider reset its volatile state before calling us).
+  flush_queue();
+}
+
+}  // namespace fdgm::abcast

@@ -1,16 +1,31 @@
 // Common interface of the two uniform atomic broadcast implementations.
 //
 // The experiment harness interacts with both algorithms exclusively through
-// this interface: A-broadcast on any process, and a delivery callback that
-// reports every A-delivery (process-local) with the original send time, so
-// the harness can compute the paper's latency metric
+// this interface: a submit/credit pair on any process — a_broadcast() plus
+// can_submit()/ReadySink back-pressure — and a DeliverSink that reports
+// every A-delivery (process-local) with the original send time, so the
+// harness can compute the paper's latency metric
 //     L = (min_i deliver_time_i) - broadcast_time.
+//
+// Batching (BatchConfig): the base class owns the submission hot path.
+// With batching disabled, a_broadcast() hands each message straight to the
+// algorithm (submit_now) — bit-identical to the unbatched tree: no timers,
+// no RNG draws, no extra events.  With batching enabled, submissions
+// accumulate in a local queue and are flushed to the algorithm as one
+// batch (flush_batch) — one ordering decision (one consensus proposal /
+// one sequencer assignment round) amortized over k messages.  The batch
+// target k adapts to the contention signal the network model exposes
+// (wire + local CPU backlog): an idle system flushes immediately (k = 1,
+// latency first), a congested one batches harder (throughput first).  A
+// flush timer bounds the queueing delay of partial batches.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <vector>
 
 #include "net/message.hpp"
+#include "net/system.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace fdgm::abcast {
@@ -45,34 +60,149 @@ class AppMessage final : public net::Payload {
 
 using AppMessagePtr = const AppMessage*;
 
-/// Per-process endpoint of an atomic broadcast algorithm.
-class AtomicBroadcastProcess {
+/// A flushed submission batch: k application messages that travel the
+/// ordering path as one payload (one rbcast broadcast in the FD stack, one
+/// DATA multicast in the GM stack) while keeping their per-message ids and
+/// send timestamps — the latency metric is still per message.
+class AppBatch final : public net::Payload {
+ public:
+  static constexpr net::ProtocolId kProto = net::ProtocolId::kApplication;
+  static constexpr std::uint8_t kKind = 2;
+
+  explicit AppBatch(std::vector<AppMessagePtr> msgs)
+      : Payload(kProto, kKind), msgs(std::move(msgs)) {}
+
+  std::vector<AppMessagePtr> msgs;
+};
+
+/// Submission batching + flow control knobs (SimConfig::batching).
+struct BatchConfig {
+  /// Off by default: every run is bit-identical to the unbatched tree.
+  bool enabled = false;
+  /// Hard cap on the batch size k.
+  std::size_t max_batch = 32;
+  /// A partial batch (queue below the adaptive target) flushes after at
+  /// most this queueing delay (ms).
+  double flush_delay_ms = 1.0;
+  /// Backlog that buys one extra message of batch target (ms): the target
+  /// is 1 + floor((wire backlog + local CPU backlog) / backlog_ref_ms),
+  /// capped at max_batch.  An idle system flushes every submission
+  /// immediately.
+  double backlog_ref_ms = 4.0;
+  /// Credit window: own messages submitted but not yet locally
+  /// A-delivered before can_submit() turns false and open-loop load is
+  /// shed (core::Workload) instead of queueing unboundedly.
+  std::size_t credit_window = 64;
+};
+
+/// Receiver of local A-deliveries.  The same slab-friendly interface
+/// pattern net::Network::Sink uses: one virtual call per delivery, no
+/// std::function, so the hot path stays allocation-free.
+class DeliverSink {
  public:
   /// Invoked on every local A-delivery, in delivery order.
-  using DeliverFn = std::function<void(const AppMessage&)>;
+  virtual void on_deliver(const AppMessage& m) = 0;
 
-  AtomicBroadcastProcess() = default;
+ protected:
+  ~DeliverSink() = default;
+};
+
+/// Receiver of the back-pressure release edge: notified when a process
+/// whose credit window was exhausted (can_submit() == false) regains
+/// submission capacity.
+class ReadySink {
+ public:
+  virtual void on_submit_ready(net::ProcessId p) = 0;
+
+ protected:
+  ~ReadySink() = default;
+};
+
+/// Per-process endpoint of an atomic broadcast algorithm.  The base class
+/// owns the submission side (ids, batching queue, credit accounting); the
+/// algorithm supplies the ordering machinery via submit_now/flush_batch
+/// and reports deliveries back through deliver().
+class AtomicBroadcastProcess {
+ public:
+  AtomicBroadcastProcess(net::System& sys, net::ProcessId self, BatchConfig batching);
   AtomicBroadcastProcess(const AtomicBroadcastProcess&) = delete;
   AtomicBroadcastProcess& operator=(const AtomicBroadcastProcess&) = delete;
-  virtual ~AtomicBroadcastProcess() = default;
+  virtual ~AtomicBroadcastProcess();
 
   /// A-broadcast a new message from this process.  Returns its id.
-  /// No-op (returns a null id with seq 0) on a crashed process.
-  virtual MsgId a_broadcast() = 0;
+  /// No-op (returns a null id with seq 0) on a crashed process.  The
+  /// message is accepted even when can_submit() is false — the credit
+  /// window is advisory back-pressure for the load source, not a hard
+  /// admission limit.
+  MsgId a_broadcast();
+
+  /// Flow control: false while this process's credit window is exhausted
+  /// (batching on and >= credit_window own messages not yet locally
+  /// A-delivered).  Always true with batching off.
+  [[nodiscard]] bool can_submit() const {
+    return !batching_.enabled || in_flight_ < batching_.credit_window;
+  }
+
+  void set_deliver_sink(DeliverSink* sink) { deliver_sink_ = sink; }
+  /// Notified when can_submit() flips back to true (see ReadySink).
+  void set_ready_sink(ReadySink* sink) { ready_sink_ = sink; }
+
+  [[nodiscard]] net::ProcessId id() const { return self_; }
+  [[nodiscard]] const BatchConfig& batching() const { return batching_; }
 
   /// Crash-recovery hook, invoked by the fault injector right after
-  /// net::System::restart(p).  The process models stable storage as its
-  /// A-delivery log plus its own message counter; everything else is
-  /// volatile and must be discarded before rejoining (GM: via the
-  /// membership JOIN/state-transfer path; FD: via a log sync with a peer).
-  virtual void on_restart() {}
-
-  virtual void set_deliver_callback(DeliverFn fn) = 0;
-
-  [[nodiscard]] virtual net::ProcessId id() const = 0;
+  /// net::System::restart(p).  The base treats the submission queue as
+  /// part of stable storage (accepted submissions were already recorded
+  /// by the harness) and re-flushes it; overriding algorithms reset their
+  /// volatile state first, then call this.
+  virtual void on_restart();
 
   /// Number of messages A-delivered locally (tests/debug).
   [[nodiscard]] virtual std::uint64_t delivered_count() const = 0;
+
+  // Introspection (tests, scenarios, micro-kernels).
+  [[nodiscard]] std::size_t submit_queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  [[nodiscard]] std::uint64_t batches_flushed() const { return batches_flushed_; }
+  /// Current adaptive batch target k (>= 1; 1 with batching off).
+  [[nodiscard]] std::size_t batch_target() const;
+
+ protected:
+  /// Unbatched submission path: exactly the pre-batching per-message hot
+  /// path of the algorithm.  Also used for flushed batches of size 1.
+  virtual void submit_now(AppMessagePtr msg) = 0;
+
+  /// Batched submission path: hand k >= 2 accumulated messages to the
+  /// ordering machinery as one unit.
+  virtual void flush_batch(const AppMessagePtr* msgs, std::size_t count) = 0;
+
+  /// Algorithms report every local A-delivery here: releases the credit
+  /// of own messages (firing the ReadySink on the release edge) and
+  /// forwards to the DeliverSink.
+  void deliver(const AppMessage& m);
+
+  /// Submission entry underneath a_broadcast: queue/flush/credit without
+  /// allocating the message (micro-kernels drive this directly).
+  void enqueue_submission(AppMessagePtr msg);
+
+  /// Flush the queued submissions now (cancels a pending flush timer).
+  void flush_queue();
+
+  net::System* sys_;
+  net::ProcessId self_;
+
+ private:
+  void arm_flush_timer();
+
+  BatchConfig batching_;
+  std::uint64_t next_msg_seq_ = 1;
+  std::vector<AppMessagePtr> queue_;     // submissions awaiting a flush
+  std::vector<AppMessagePtr> flushing_;  // scratch: swap keeps flushes re-entrant-safe
+  sim::EventId flush_timer_ = 0;         // 0 = none pending
+  std::size_t in_flight_ = 0;            // own messages not yet locally delivered
+  std::uint64_t batches_flushed_ = 0;
+  DeliverSink* deliver_sink_ = nullptr;
+  ReadySink* ready_sink_ = nullptr;
 };
 
 }  // namespace fdgm::abcast

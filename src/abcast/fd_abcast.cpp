@@ -40,8 +40,7 @@ class FdAbcastProcess::SyncResp final : public net::Payload {
 
 FdAbcastProcess::FdAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
                                  FdAbcastConfig cfg)
-    : sys_(&sys),
-      self_(self),
+    : AtomicBroadcastProcess(sys, self, cfg.batching),
       fd_(&fd),
       cfg_(cfg),
       rb_(sys, self, fd, rbcast::RbConfig{.relay_on_suspicion = false}),
@@ -70,22 +69,28 @@ FdAbcastProcess::~FdAbcastProcess() {
   sys_->node(self_).register_handler(net::ProtocolId::kAtomicBroadcast, nullptr);
 }
 
-MsgId FdAbcastProcess::a_broadcast() {
-  if (sys_->node(self_).crashed()) return MsgId{};
-  const MsgId id{self_, next_msg_seq_++};
-  const AppMessage* msg = sys_->arena().make<AppMessage>(id, sys_->now());
+void FdAbcastProcess::submit_now(AppMessagePtr msg) {
   rb_.broadcast(kDataTag, msg);  // delivers locally too -> on_data
-  return id;
+}
+
+void FdAbcastProcess::flush_batch(const AppMessagePtr* msgs, std::size_t count) {
+  // One rbcast slot (and later one proposal slot) carries the whole batch;
+  // receivers unpack it back into per-message pending entries, so the
+  // ordering machinery below is unchanged.
+  rb_.broadcast(kDataTag, sys_->arena().make<AppBatch>(
+                              std::vector<AppMessagePtr>(msgs, msgs + count)));
 }
 
 // ------------------------------------------------- crash-recovery catch-up
 
 void FdAbcastProcess::on_restart() {
-  // Stable storage: log_, delivered_ids_, next_msg_seq_.  Decisions and
+  // Stable storage: log_, delivered_ids_, the message counter and the
+  // submission queue (the base class re-flushes it).  Decisions and
   // message contents are objective data and stay; only this incarnation's
   // proposal marks are void (our in-flight proposals died with us), so
   // every still-pending id becomes proposable again.
   proposed_in_.clear();
+  AtomicBroadcastProcess::on_restart();
   syncing_ = true;
   ++sync_epoch_;
   send_sync_req();
@@ -145,12 +150,9 @@ void FdAbcastProcess::apply_sync_resp(const SyncResp& resp) {
     if (!delivered_ids_.insert(msg->id).second) continue;
     pending_.erase(msg->id);
     proposed_in_.erase(msg->id);
-    if (auto rit = rb_ids_.find(msg->id); rit != rb_ids_.end()) {
-      rb_.release(rit->second);
-      rb_ids_.erase(rit);
-    }
+    release_rb(msg->id);
     log_.push_back(msg);
-    if (deliver_cb_) deliver_cb_(*msg);
+    deliver(*msg);
   }
   for (AppMessagePtr msg : resp.pending)
     if (!delivered_ids_.contains(msg->id)) pending_.emplace(msg->id, msg);
@@ -180,16 +182,38 @@ void FdAbcastProcess::on_message(const net::Message& m) {
 }
 
 void FdAbcastProcess::on_data(const rbcast::RbId& rb_id, net::PayloadPtr inner) {
-  const AppMessage* msg = net::payload_cast<AppMessage>(inner);
-  if (msg == nullptr) throw std::logic_error("FdAbcastProcess: bad data payload");
-  if (delivered_ids_.contains(msg->id)) {
-    rb_.release(rb_id);  // late relay of an already delivered message
+  bool admitted = false;
+  if (const AppMessage* msg = net::payload_cast<AppMessage>(inner)) {
+    admitted = admit_data(*msg, rb_id);
+  } else if (const AppBatch* batch = net::payload_cast<AppBatch>(inner)) {
+    for (AppMessagePtr m : batch->msgs) admitted |= admit_data(*m, rb_id);
+  } else {
+    throw std::logic_error("FdAbcastProcess: bad data payload");
+  }
+  if (!admitted) {
+    rb_.release(rb_id);  // late relay; everything in it already delivered
     return;
   }
-  pending_.emplace(msg->id, msg);
-  rb_ids_.emplace(msg->id, rb_id);
   process_ready_decisions();  // a decision may have been waiting for this content
   maybe_start_next();
+}
+
+bool FdAbcastProcess::admit_data(const AppMessage& msg, const rbcast::RbId& rb_id) {
+  if (delivered_ids_.contains(msg.id)) return false;
+  pending_.emplace(msg.id, &msg);
+  if (rb_ids_.emplace(msg.id, rb_id).second) ++rb_refs_[rb_id];
+  return true;
+}
+
+void FdAbcastProcess::release_rb(const MsgId& id) {
+  auto rit = rb_ids_.find(id);
+  if (rit == rb_ids_.end()) return;
+  const rbcast::RbId rb_id = rit->second;
+  rb_ids_.erase(rit);
+  if (auto cit = rb_refs_.find(rb_id); cit != rb_refs_.end() && --cit->second == 0) {
+    rb_refs_.erase(cit);
+    rb_.release(rb_id);
+  }
 }
 
 int FdAbcastProcess::offset_for(std::uint64_t number) const {
@@ -207,7 +231,7 @@ consensus::StartInfo FdAbcastProcess::make_start_info(std::uint64_t number) {
     if (!inserted) it->second = std::max(it->second, number);
   }
   return consensus::StartInfo{
-      .members = sys_->all(),
+      .members = &sys_->all(),
       .coordinator_offset = offset_for(number),
       .initial = sys_->arena().make<Proposal>(self_, std::move(ids)),
       // Recovery rounds with no locked value may batch in later arrivals.
@@ -273,11 +297,8 @@ void FdAbcastProcess::process_ready_decisions() {
       proposed_in_.erase(id);
       delivered_ids_.insert(id);
       log_.push_back(msg);
-      if (auto rit = rb_ids_.find(id); rit != rb_ids_.end()) {
-        rb_.release(rit->second);
-        rb_ids_.erase(rit);
-      }
-      if (deliver_cb_) deliver_cb_(*msg);
+      release_rb(id);
+      deliver(*msg);
     }
     // Re-proposal: ids whose latest proposal lost (mark at or below the
     // decision just applied) become uncovered again.

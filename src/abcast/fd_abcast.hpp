@@ -52,6 +52,8 @@ struct FdAbcastConfig {
   /// Crash-recovery catch-up: period (ms) of the watchdog that re-requests
   /// a log sync from the peers while the recovered process is behind.
   double sync_retry = 100.0;
+  /// Submission batching + flow control (see abcast::BatchConfig).
+  BatchConfig batching;
 };
 
 /// The FD algorithm assumes crash-stop processes; crash-*recovery* is an
@@ -72,10 +74,7 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   ~FdAbcastProcess() override;
 
   // AtomicBroadcastProcess
-  MsgId a_broadcast() override;
   void on_restart() override;
-  void set_deliver_callback(DeliverFn fn) override { deliver_cb_ = std::move(fn); }
-  [[nodiscard]] net::ProcessId id() const override { return self_; }
   [[nodiscard]] std::uint64_t delivered_count() const override { return log_.size(); }
 
   // net::Layer — SYNC-REQ / SYNC-RESP (crash-recovery catch-up only).
@@ -91,6 +90,13 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
 
   /// Test/debug access to the consensus endpoint.
   [[nodiscard]] consensus::ConsensusService& consensus_dbg() { return consensus_; }
+
+ protected:
+  // AtomicBroadcastProcess submission hooks: one rbcast broadcast per
+  // message (unbatched) or per accumulated batch (one data dissemination
+  // and one consensus proposal slot amortized over k messages).
+  void submit_now(AppMessagePtr msg) override;
+  void flush_batch(const AppMessagePtr* msgs, std::size_t count) override;
 
  private:
   /// The consensus value: a set of message ids tagged with the proposer.
@@ -108,6 +114,13 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   class SyncResp;
 
   void on_data(const rbcast::RbId& rb_id, net::PayloadPtr inner);
+  /// Admits one message of an rbcast data delivery into pending_; returns
+  /// false when it was already A-delivered.
+  bool admit_data(const AppMessage& msg, const rbcast::RbId& rb_id);
+  /// Releases one message's share of its rbcast retention (a batch's k
+  /// messages share one RbId; the rbcast slot frees when the last one is
+  /// delivered).
+  void release_rb(const MsgId& id);
   void on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value);
   void maybe_start_next();
   void process_ready_decisions();
@@ -126,15 +139,11 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   /// process): the winner of decision #(number - pipeline), 0 early on.
   [[nodiscard]] int offset_for(std::uint64_t number) const;
 
-  net::System* sys_;
-  net::ProcessId self_;
   fd::FailureDetector* fd_;
   FdAbcastConfig cfg_;
   rbcast::ReliableBroadcast rb_;
   consensus::ConsensusService consensus_;
-  DeliverFn deliver_cb_;
 
-  std::uint64_t next_msg_seq_ = 1;
   /// R-delivered, not yet A-delivered (id-ordered for proposals).
   std::map<MsgId, AppMessagePtr> pending_;
   /// Highest instance number whose proposal included the id.  Ids without
@@ -142,6 +151,9 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   /// processed decision are cleared so lost proposals are re-proposed.
   std::unordered_map<MsgId, std::uint64_t, MsgIdHash> proposed_in_;
   std::unordered_map<MsgId, rbcast::RbId, MsgIdHash> rb_ids_;
+  /// Messages still retaining each rbcast slot (1 for singles, k for a
+  /// batch; released as its messages are delivered).
+  std::unordered_map<rbcast::RbId, std::size_t, rbcast::RbIdHash> rb_refs_;
   std::unordered_set<MsgId, MsgIdHash> delivered_ids_;
   std::vector<AppMessagePtr> log_;
 

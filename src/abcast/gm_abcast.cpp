@@ -81,8 +81,7 @@ class GmAbcastProcess::GmState final : public net::Payload {
 
 GmAbcastProcess::GmAbcastProcess(net::System& sys, net::ProcessId self, fd::FailureDetector& fd,
                                  GmAbcastConfig cfg)
-    : sys_(&sys),
-      self_(self),
+    : AtomicBroadcastProcess(sys, self, cfg.batching),
       fd_(&fd),
       cfg_(cfg),
       rb_(sys, self, fd, rbcast::RbConfig{.relay_on_suspicion = false}),
@@ -100,19 +99,31 @@ GmAbcastProcess::~GmAbcastProcess() {
 
 // ------------------------------------------------------------- data plane
 
-MsgId GmAbcastProcess::a_broadcast() {
-  if (sys_->node(self_).crashed()) return MsgId{};
-  const MsgId id{self_, next_msg_seq_++};
-  const AppMessage* msg = sys_->arena().make<AppMessage>(id, sys_->now());
+void GmAbcastProcess::submit_now(AppMessagePtr msg) {
   if (!member_) {
     // Wrongly excluded: hold the message until we rejoin.
     own_buffer_.push_back(msg);
-    return id;
+    return;
   }
   sys_->node(self_).multicast_others(view_.members, net::ProtocolId::kAtomicBroadcast,
                                      sys_->arena().make<DataMsg>(msg));
   handle_data(msg);
-  return id;
+}
+
+void GmAbcastProcess::flush_batch(const AppMessagePtr* msgs, std::size_t count) {
+  if (!member_) {
+    own_buffer_.insert(own_buffer_.end(), msgs, msgs + count);
+    return;
+  }
+  // One multicast carries the whole batch; the receivers (and we) admit k
+  // messages and run the ordering step once, so the sequencer covers the
+  // batch with a single SEQNUM assignment round.
+  sys_->node(self_).multicast_others(
+      view_.members, net::ProtocolId::kAtomicBroadcast,
+      sys_->arena().make<AppBatch>(std::vector<AppMessagePtr>(msgs, msgs + count)));
+  bool admitted = false;
+  for (std::size_t i = 0; i < count; ++i) admitted |= admit_data(msgs[i]);
+  if (admitted) trigger_ordering();
 }
 
 void GmAbcastProcess::on_restart() {
@@ -136,13 +147,24 @@ void GmAbcastProcess::on_restart() {
   acks_.assign(static_cast<std::size_t>(sys_->n()), kNoAck);
   member_ = false;
   frozen_ = true;
+  // Base class: re-route accepted-but-unflushed submissions; member_ is
+  // already false, so they land in own_buffer_ and go out after the rejoin.
+  AtomicBroadcastProcess::on_restart();
   membership_.rejoin();
 }
 
 void GmAbcastProcess::handle_data(const AppMessagePtr& msg) {
-  if (delivered_.contains(msg->id) || msgs_.contains(msg->id)) return;
+  if (admit_data(msg)) trigger_ordering();
+}
+
+bool GmAbcastProcess::admit_data(const AppMessagePtr& msg) {
+  if (delivered_.contains(msg->id) || msgs_.contains(msg->id)) return false;
   msgs_.emplace(msg->id, msg);
   arrival_order_.push_back(msg->id);
+  return true;
+}
+
+void GmAbcastProcess::trigger_ordering() {
   if (active_sequencer())
     sequence_pending();
   else
@@ -243,7 +265,7 @@ void GmAbcastProcess::deliver_msg(AppMessagePtr msg) {
   if (!delivered_.insert(msg->id).second) return;
   msgs_.erase(msg->id);  // content lives on in the run's arena
   log_.push_back(msg);
-  if (deliver_cb_) deliver_cb_(*msg);
+  deliver(*msg);
 }
 
 // ---------------------------------------------------------------- messages
@@ -251,6 +273,12 @@ void GmAbcastProcess::deliver_msg(AppMessagePtr msg) {
 void GmAbcastProcess::on_message(const net::Message& m) {
   if (const auto* d = net::payload_cast<DataMsg>(m)) {
     handle_data(d->msg);
+    return;
+  }
+  if (const auto* b = net::payload_cast<AppBatch>(m)) {
+    bool admitted = false;
+    for (AppMessagePtr msg : b->msgs) admitted |= admit_data(msg);
+    if (admitted) trigger_ordering();
     return;
   }
   if (const auto* s = net::payload_cast<SeqnumMsg>(m)) {
@@ -307,9 +335,20 @@ void GmAbcastProcess::on_message(const net::Message& m) {
         sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast,
                                sys_->arena().make<DataMsg>(content));
     }
-    if (!pairs.empty())
-      sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast,
-                             sys_->arena().make<SeqnumMsg>(view_.id, std::move(pairs)));
+    if (!pairs.empty()) {
+      const SeqnumMsg* reply =
+          sys_->arena().make<SeqnumMsg>(view_.id, std::move(pairs));
+      if (batching().enabled) {
+        // Hotspot mitigation: under batched load the repair traffic
+        // concentrates on the sequencer (one lost SEQNUM gaps everyone).
+        // Re-multicasting the assignments answers every gapped member with
+        // one reply instead of one unicast per NACK.
+        sys_->node(self_).multicast_others(view_.members, net::ProtocolId::kAtomicBroadcast,
+                                           reply);
+      } else {
+        sys_->node(self_).send(m.src, net::ProtocolId::kAtomicBroadcast, reply);
+      }
+    }
     return;
   }
   throw std::logic_error("GmAbcastProcess: foreign payload");

@@ -44,6 +44,8 @@ struct GmAbcastConfig {
   bool uniform = true;
   /// Joiner retry period for the membership JOIN message (ms).
   double join_retry = 50.0;
+  /// Submission batching + flow control (see abcast::BatchConfig).
+  BatchConfig batching;
 };
 
 class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::MembershipClient,
@@ -54,10 +56,7 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   ~GmAbcastProcess() override;
 
   // AtomicBroadcastProcess
-  MsgId a_broadcast() override;
   void on_restart() override;
-  void set_deliver_callback(DeliverFn fn) override { deliver_cb_ = std::move(fn); }
-  [[nodiscard]] net::ProcessId id() const override { return self_; }
   [[nodiscard]] std::uint64_t delivered_count() const override { return log_.size(); }
 
   /// Delivery log (tests: total order / uniform agreement / view synchrony).
@@ -84,6 +83,13 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   // net::Layer — DATA / SEQNUM / ACK / DELIVER / NEED.
   void on_message(const net::Message& m) override;
 
+ protected:
+  // AtomicBroadcastProcess submission hooks: one DATA multicast per message
+  // (unbatched) or one AppBatch multicast carrying k messages, which the
+  // sequencer then covers with a single SEQNUM assignment round.
+  void submit_now(AppMessagePtr msg) override;
+  void flush_batch(const AppMessagePtr* msgs, std::size_t count) override;
+
  private:
   class DataMsg;
   class SeqnumMsg;
@@ -93,6 +99,12 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   class GmState;
 
   void handle_data(const AppMessagePtr& msg);
+  /// Dedup + record one message's content; returns false if already known
+  /// or delivered.  Batch paths admit every message, then trigger the
+  /// ordering step once.
+  bool admit_data(const AppMessagePtr& msg);
+  /// One ordering step: sequence (active sequencer) or ack (follower).
+  void trigger_ordering();
   void sequence_pending();
   void try_advance_ack();
   void try_deliver_sequencer();
@@ -102,20 +114,16 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   void send_buffered();
   [[nodiscard]] bool active_sequencer() const { return is_sequencer() && !frozen_; }
 
-  net::System* sys_;
-  net::ProcessId self_;
   fd::FailureDetector* fd_;
   GmAbcastConfig cfg_;
   rbcast::ReliableBroadcast rb_;
   consensus::ConsensusService consensus_;
   gm::GroupMembership membership_;
-  DeliverFn deliver_cb_;
 
   gm::View view_;  // data-plane copy of the current view
   bool member_ = true;
   bool frozen_ = false;
 
-  std::uint64_t next_msg_seq_ = 1;
   std::unordered_map<MsgId, AppMessagePtr, MsgIdHash> msgs_;  // known content
   std::vector<MsgId> arrival_order_;                          // sequencing order
   std::unordered_map<MsgId, std::int64_t, MsgIdHash> sn_of_;

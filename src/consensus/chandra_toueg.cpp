@@ -23,7 +23,9 @@ Instance::~Instance() { retire(); }
 
 void Instance::reset(InstanceKey key, StartInfo info) {
   key_ = key;
-  members_ = std::move(info.members);
+  if (info.members == nullptr || info.members->empty())
+    throw std::invalid_argument("consensus::Instance: empty membership");
+  members_.assign(info.members->begin(), info.members->end());
   offset_ = info.coordinator_offset;
   refresh_ = std::move(info.refresh);
   estimate_ = std::move(info.initial);
@@ -31,7 +33,6 @@ void Instance::reset(InstanceKey key, StartInfo info) {
   round_ = 1;
   done_ = false;
   in_progress_ = false;
-  if (members_.empty()) throw std::invalid_argument("consensus::Instance: empty membership");
   std::sort(members_.begin(), members_.end());
   if (!std::binary_search(members_.begin(), members_.end(), self_))
     throw std::invalid_argument("consensus::Instance: self not a member");

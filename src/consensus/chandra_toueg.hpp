@@ -46,7 +46,11 @@ namespace fdgm::consensus {
 /// Everything needed to start (or join) one instance.
 struct StartInfo {
   /// Participating processes.  Majority quorums are relative to this set.
-  std::vector<net::ProcessId> members;
+  /// Points at the caller's member list: Instance::reset copies it
+  /// synchronously (into a capacity-retaining pooled vector), so the
+  /// pointee only has to outlive the start/join call — no per-instance
+  /// vector allocation on the hot path.
+  const std::vector<net::ProcessId>* members = nullptr;
   /// Rotation offset: coordinator of round 1 is members[offset % size].
   int coordinator_offset = 0;
   /// This process's initial value (proposed if it coordinates round 1).

@@ -43,21 +43,23 @@ SimRun::SimRun(const SimConfig& cfg, WorkloadConfig wl) : cfg_(cfg) {
       case Algorithm::kFd:
         proc = std::make_unique<abcast::FdAbcastProcess>(
             *sys_, p, fd_model_->at(p),
-            abcast::FdAbcastConfig{.renumbering = cfg.fd_renumbering});
+            abcast::FdAbcastConfig{.renumbering = cfg.fd_renumbering,
+                                   .batching = cfg.batching});
         break;
       case Algorithm::kGm:
         proc = std::make_unique<abcast::GmAbcastProcess>(
             *sys_, p, fd_model_->at(p),
-            abcast::GmAbcastConfig{.uniform = true, .join_retry = cfg.gm_join_retry});
+            abcast::GmAbcastConfig{.uniform = true, .join_retry = cfg.gm_join_retry,
+                                   .batching = cfg.batching});
         break;
       case Algorithm::kGmNonUniform:
         proc = std::make_unique<abcast::GmAbcastProcess>(
             *sys_, p, fd_model_->at(p),
-            abcast::GmAbcastConfig{.uniform = false, .join_retry = cfg.gm_join_retry});
+            abcast::GmAbcastConfig{.uniform = false, .join_retry = cfg.gm_join_retry,
+                                   .batching = cfg.batching});
         break;
     }
-    proc->set_deliver_callback(
-        [this](const abcast::AppMessage& m) { recorder_.on_deliver(m, sys_->now()); });
+    proc->set_deliver_sink(this);
     procs_.push_back(std::move(proc));
   }
 

@@ -53,6 +53,9 @@ struct SimConfig {
   /// that survives message loss (NACK + backoff-timer recovery).  With
   /// loss off the armed transport is bit-identical to running without it.
   transport::Config transport;
+  /// Submission batching + adaptive flow control (both stacks).  Disabled
+  /// by default: runs are bit-identical to the unbatched tree.
+  abcast::BatchConfig batching;
 };
 
 /// Process-wide count of scheduler events executed by completed (i.e.
@@ -60,7 +63,7 @@ struct SimConfig {
 /// reads the delta around a scenario to report its events/sec.
 [[nodiscard]] std::uint64_t total_events_executed();
 
-class SimRun {
+class SimRun : private abcast::DeliverSink {
  public:
   explicit SimRun(const SimConfig& cfg, WorkloadConfig wl = {});
   ~SimRun();
@@ -87,6 +90,12 @@ class SimRun {
   void run_until(sim::Time t) { sys_->scheduler().run_until(t); }
 
  private:
+  // abcast::DeliverSink — every process's local A-deliveries feed the
+  // latency recorder.
+  void on_deliver(const abcast::AppMessage& m) override {
+    recorder_.on_deliver(m, sys_->now());
+  }
+
   SimConfig cfg_;
   std::unique_ptr<net::System> sys_;
   std::unique_ptr<fd::QosFailureDetectorModel> fd_model_;

@@ -18,12 +18,16 @@ struct ReplicaOutcome {
   double sim_ms = 0.0;
   std::uint64_t retransmits = 0;
   std::uint64_t dup_suppressed = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t shed = 0;
 };
 
-/// Copies the transport counters (and the simulated horizon) out of a
-/// finished replica; no-op without an armed transport.
+/// Copies the transport and workload counters (and the simulated horizon)
+/// out of a finished replica.
 void capture_run_stats(SimRun& run, ReplicaOutcome& o) {
   o.sim_ms = run.system().now();
+  o.generated = run.workload().generated();
+  o.shed = run.workload().shed();
   if (const transport::Transport* t = run.system().transport()) {
     o.retransmits = t->stats().retransmits;
     o.dup_suppressed = t->stats().duplicates;
@@ -126,6 +130,8 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
     out.sim_ms += o.sim_ms;
     out.retransmits += o.retransmits;
     out.dup_suppressed += o.dup_suppressed;
+    out.generated += o.generated;
+    out.shed += o.shed;
     if (!o.stable) {
       out.stable = false;
       continue;

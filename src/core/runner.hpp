@@ -50,6 +50,12 @@ struct PointResult {
   /// when SimConfig::transport is off (or the run saw no loss).
   std::uint64_t retransmits = 0;
   std::uint64_t dup_suppressed = 0;
+  /// Workload counters summed over the replicas: arrivals submitted and
+  /// arrivals shed by flow control (can_submit() false; always 0 with
+  /// batching off).  shed / (generated + shed) is the goodput loss of an
+  /// overloaded point.
+  std::uint64_t generated = 0;
+  std::uint64_t shed = 0;
 };
 
 /// Steady-state scenarios.  `initial_crashes` are crashed at t=0 (use

@@ -10,7 +10,8 @@ Workload::Workload(net::System& sys, std::vector<abcast::AtomicBroadcastProcess*
   if (procs_.empty()) throw std::invalid_argument("Workload: no processes");
   if (cfg.throughput <= 0) throw std::invalid_argument("Workload: throughput must be positive");
   // T is per second; the simulation's unit is 1 ms.
-  const double per_process_rate_per_ms = cfg.throughput / 1000.0 / static_cast<double>(procs_.size());
+  const double per_process_rate_per_ms =
+      cfg.throughput / 1000.0 / static_cast<double>(procs_.size());
   per_process_mean_gap_ms_ = 1.0 / per_process_rate_per_ms;
   sim::Rng base = sys.rng().fork("workload");
   for (std::size_t i = 0; i < procs_.size(); ++i) rngs_.push_back(base.fork(i));
@@ -36,6 +37,12 @@ void Workload::schedule_next(std::size_t idx) {
     if (sys_->node(pid).crashed()) {
       // The chain dies with the process; a recovery restarts it.
       chain_alive_[idx] = false;
+      return;
+    }
+    if (!procs_[idx]->can_submit()) {
+      // Back-pressure: shed this arrival, keep the chain running.
+      ++shed_;
+      schedule_next(idx);
       return;
     }
     const abcast::MsgId id = procs_[idx]->a_broadcast();

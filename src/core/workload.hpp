@@ -37,6 +37,12 @@ class Workload {
   void stop() { stopped_ = true; }
 
   [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  /// Arrivals dropped by flow control: the process's credit window was
+  /// exhausted (can_submit() false) when the tick fired.  Open-loop load
+  /// sheds deterministically instead of queueing unboundedly — the arrival
+  /// chain keeps its RNG sequence, the message is simply never submitted
+  /// or recorded.  Always 0 with batching off.
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
 
  private:
   void schedule_next(std::size_t idx);
@@ -54,6 +60,7 @@ class Workload {
   bool started_ = false;
   bool stopped_ = false;
   std::uint64_t generated_ = 0;
+  std::uint64_t shed_ = 0;
 };
 
 }  // namespace fdgm::core

@@ -242,7 +242,7 @@ void GroupMembership::maybe_start_consensus() {
   consensus_->start(
       consensus::InstanceKey{kMembershipContext, view_.id},
       consensus::StartInfo{
-          .members = view_.members,
+          .members = &view_.members,
           .coordinator_offset = vc_offset(view_),
           .initial = sys_->arena().make<MembershipProposal>(std::move(p_set), std::move(u_vec),
                                                             std::move(j_vec), settled),

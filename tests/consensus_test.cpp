@@ -45,7 +45,7 @@ struct Fixture {
           kCtx, ConsensusService::ContextConfig{
                     .join = [this, i](const InstanceKey&) -> std::optional<StartInfo> {
                       // Late joiners propose their process id by default.
-                      return StartInfo{sys.all(), 0, sys.arena().make<Value>(100 + i)};
+                      return StartInfo{&sys.all(), 0, sys.arena().make<Value>(100 + i)};
                     },
                     .on_decide =
                         [slot](const InstanceKey& key, const net::PayloadPtr& v) {
@@ -61,7 +61,8 @@ struct Fixture {
     for (int i = 0; i < sys.n(); ++i) {
       if (sys.node(i).crashed()) continue;
       services[static_cast<std::size_t>(i)]->start(
-          InstanceKey{kCtx, k}, StartInfo{sys.all(), offset, sys.arena().make<Value>(base + i)});
+          InstanceKey{kCtx, k},
+          StartInfo{&sys.all(), offset, sys.arena().make<Value>(base + i)});
     }
   }
 
@@ -165,7 +166,7 @@ TEST(Consensus, DecisionReachesLateJoiner) {
   Fixture f(3);
   for (int i : {0, 1})
     f.services[static_cast<std::size_t>(i)]->start(
-        InstanceKey{kCtx, 1}, StartInfo{f.sys.all(), 0, f.sys.arena().make<Value>(i)});
+        InstanceKey{kCtx, 1}, StartInfo{&f.sys.all(), 0, f.sys.arena().make<Value>(i)});
   f.sys.scheduler().run();
   EXPECT_EQ(f.deciders(1), 3u);
   f.check_agreement(1);
@@ -227,7 +228,7 @@ TEST(Consensus, DecidedInstanceIgnoresStragglers) {
   EXPECT_FALSE(f.services[0]->running(InstanceKey{kCtx, 1}));
   // Restarting a decided instance is a no-op.
   f.services[0]->start(InstanceKey{kCtx, 1},
-                       StartInfo{f.sys.all(), 0, f.sys.arena().make<Value>(99)});
+                       StartInfo{&f.sys.all(), 0, f.sys.arena().make<Value>(99)});
   f.sys.scheduler().run();
   EXPECT_EQ(f.decisions[0].at(1), 0);
 }

@@ -26,29 +26,43 @@ struct Fnv {
   }
 };
 
+/// Mixes every local A-delivery of one process into the shared hash.
+struct HashSink final : abcast::DeliverSink {
+  Fnv* f = nullptr;
+  SimRun* run = nullptr;
+  int p = 0;
+  void on_deliver(const abcast::AppMessage& m) override {
+    f->mix(static_cast<std::uint64_t>(p));
+    f->mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.id.origin)));
+    f->mix(m.id.seq);
+    f->mix(std::bit_cast<std::uint64_t>(m.sent_at));
+    f->mix(std::bit_cast<std::uint64_t>(run->system().now()));
+  }
+};
+
 std::uint64_t delivery_hash(Algorithm algo,
                             sim::SchedulerBackend backend = sim::SchedulerBackend::kHeap,
-                            bool transport = false) {
+                            bool transport = false, bool batching = false) {
   SimConfig cfg;
   cfg.algorithm = algo;
   cfg.n = 5;
   cfg.seed = 424242;
   cfg.scheduler.backend = backend;
   cfg.transport.enabled = transport;
+  cfg.batching.enabled = batching;
   cfg.fd_params.detection_time = 30.0;
   cfg.fd_params.wrong_suspicions = true;
   cfg.fd_params.mistake_recurrence = 2000.0;
   cfg.fd_params.mistake_duration = 50.0;
   SimRun run(cfg, WorkloadConfig{.throughput = 200.0});
   Fnv f;
+  std::vector<HashSink> sinks(static_cast<std::size_t>(cfg.n));
   for (int p = 0; p < cfg.n; ++p) {
-    run.proc(p).set_deliver_callback([&f, &run, p](const abcast::AppMessage& m) {
-      f.mix(static_cast<std::uint64_t>(p));
-      f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.id.origin)));
-      f.mix(m.id.seq);
-      f.mix(std::bit_cast<std::uint64_t>(m.sent_at));
-      f.mix(std::bit_cast<std::uint64_t>(run.system().now()));
-    });
+    auto& sink = sinks[static_cast<std::size_t>(p)];
+    sink.f = &f;
+    sink.run = &run;
+    sink.p = p;
+    run.proc(p).set_deliver_sink(&sink);
   }
   run.start();
   run.run_until(3000.0);
@@ -110,6 +124,33 @@ TEST(GoldenSeed, TransportArmedWheelMatchesGoldenFd) {
 
 TEST(GoldenSeed, TransportArmedWheelMatchesGoldenGm) {
   EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel, true), kGoldenGm);
+}
+
+// Batching armed: the delivery sequence legitimately differs from the
+// unbatched goldens (submissions ride flush timers and batch payloads),
+// but it must be just as deterministic — its own golden constants,
+// reproduced bit-for-bit by both scheduler backends and across repeats.
+constexpr std::uint64_t kGoldenFdBatch = 0x811dfe8fedd5b845ULL;
+constexpr std::uint64_t kGoldenGmBatch = 0x37617f72e9f8c429ULL;
+
+TEST(GoldenSeed, BatchingArmedGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kHeap, false, true),
+            kGoldenFdBatch);
+}
+
+TEST(GoldenSeed, BatchingArmedGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kHeap, false, true),
+            kGoldenGmBatch);
+}
+
+TEST(GoldenSeed, BatchingArmedWheelMatchesHeapGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kWheel, false, true),
+            kGoldenFdBatch);
+}
+
+TEST(GoldenSeed, BatchingArmedWheelMatchesHeapGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel, false, true),
+            kGoldenGmBatch);
 }
 
 }  // namespace

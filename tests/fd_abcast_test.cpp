@@ -188,6 +188,13 @@ TEST(FdAbcast, RenumberingMovesCoordinatorAwayFromCrashed) {
   // the round-1 coordinator, so later messages decide in round 1 without
   // waiting for suspicion.  Compare the delivery time of a late message
   // with and without the optimization.
+  struct LateDeliverySink final : DeliverSink {
+    net::System* sys = nullptr;
+    double delivered_at = -1;
+    void on_deliver(const AppMessage& m) override {
+      if (m.sent_at >= 500.0 && delivered_at < 0) delivered_at = sys->now();
+    }
+  };
   auto late_latency = [](bool renumber) {
     fd::QosParams qp;
     qp.detection_time = 100.0;
@@ -197,15 +204,14 @@ TEST(FdAbcast, RenumberingMovesCoordinatorAwayFromCrashed) {
     // window; then measure a message in the re-numbered steady state.
     for (int i = 0; i < 5; ++i)
       f.sys.scheduler().schedule_at(150.0 + 50.0 * i, [&] { f.procs[1]->a_broadcast(); });
-    double delivered_at = -1;
+    LateDeliverySink sink;
+    sink.sys = &f.sys;
     f.sys.scheduler().schedule_at(500.0, [&] {
       f.procs[1]->a_broadcast();
-      f.procs[1]->set_deliver_callback([&](const AppMessage& m) {
-        if (m.sent_at >= 500.0 && delivered_at < 0) delivered_at = f.sys.now();
-      });
+      f.procs[1]->set_deliver_sink(&sink);
     });
     f.sys.scheduler().run();
-    return delivered_at - 500.0;
+    return sink.delivered_at - 500.0;
   };
   const double with = late_latency(true);
   const double without = late_latency(false);

@@ -265,25 +265,29 @@ TEST(GmAbcast, UniformityMajorityAckBeforeAnyDelivery) {
   // majority of acks: with n=3 the earliest delivery needs data(3ms) +
   // seqnum(3ms) + ack(3ms) = 9ms; the non-uniform variant delivers after
   // data + seqnum = 6ms at the sequencer even earlier.
+  struct FirstDeliverySink final : DeliverSink {
+    net::System* sys = nullptr;
+    double first = -1;
+    void on_deliver(const AppMessage&) override {
+      if (first < 0) first = sys->now();
+    }
+  };
+
   Fixture uni(3);
   uni.procs[1]->a_broadcast();
-  double first_uni = -1;
-  for (auto& p : uni.procs)
-    p->set_deliver_callback([&](const AppMessage&) {
-      if (first_uni < 0) first_uni = uni.sys.now();
-    });
+  FirstDeliverySink first_uni;
+  first_uni.sys = &uni.sys;
+  for (auto& p : uni.procs) p->set_deliver_sink(&first_uni);
   uni.sys.scheduler().run();
-  EXPECT_GE(first_uni, 9.0);
+  EXPECT_GE(first_uni.first, 9.0);
 
   Fixture non(3, {}, 1, GmAbcastConfig{.uniform = false});
   non.procs[1]->a_broadcast();
-  double first_non = -1;
-  for (auto& p : non.procs)
-    p->set_deliver_callback([&](const AppMessage&) {
-      if (first_non < 0) first_non = non.sys.now();
-    });
+  FirstDeliverySink first_non;
+  first_non.sys = &non.sys;
+  for (auto& p : non.procs) p->set_deliver_sink(&first_non);
   non.sys.scheduler().run();
-  EXPECT_LT(first_non, first_uni);
+  EXPECT_LT(first_non.first, first_uni.first);
 }
 
 TEST(GmAbcast, NonUniformVariantKeepsTotalOrderWithoutFailures) {

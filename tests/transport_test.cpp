@@ -244,10 +244,20 @@ Delivered run_stack(core::Algorithm algo, double loss_rate, double horizon, doub
   core::SimRun run(cfg, core::WorkloadConfig{.throughput = 200.0});
   Delivered d;
   d.order.resize(3);
-  for (int p = 0; p < 3; ++p)
-    run.proc(p).set_deliver_callback([&d, p](const abcast::AppMessage& m) {
-      d.order[static_cast<std::size_t>(p)].push_back(m.id);
-    });
+  struct OrderSink final : abcast::DeliverSink {
+    Delivered* d = nullptr;
+    int p = 0;
+    void on_deliver(const abcast::AppMessage& m) override {
+      d->order[static_cast<std::size_t>(p)].push_back(m.id);
+    }
+  };
+  std::vector<OrderSink> sinks(3);
+  for (int p = 0; p < 3; ++p) {
+    auto& sink = sinks[static_cast<std::size_t>(p)];
+    sink.d = &d;
+    sink.p = p;
+    run.proc(p).set_deliver_sink(&sink);
+  }
   run.start();
   run.run_until(horizon);
   run.workload().stop();
