@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,6 +25,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "obs/observer.hpp"
 #include "scenario.hpp"
 
 namespace fdgm::bench {
@@ -42,6 +44,8 @@ struct Options {
   bool profile = false;
   bool transport = false;
   bool batch = false;
+  std::string trace_path;    // --trace: Chrome trace-event JSON export
+  std::string metrics_path;  // --metrics: windowed counter CSV export
   fault::FaultSchedule faults;
   sim::SchedulerConfig scheduler;
   std::map<std::string, std::string> params;  // --set key=value
@@ -97,6 +101,13 @@ void print_usage() {
       "                    default when no loss fault is scheduled)\n"
       "  --batch           arm submission batching + adaptive flow control\n"
       "                    in every simulation (abcast::BatchConfig defaults)\n"
+      "  --trace FILE      arm observability (src/obs/) and export the first\n"
+      "                    simulation's per-message lifecycle spans as Chrome\n"
+      "                    trace-event JSON (open in Perfetto).  Forces --jobs 1\n"
+      "                    so the exported run is deterministic.  Armed\n"
+      "                    observability is passive: results are unchanged.\n"
+      "  --metrics FILE    like --trace, but exports the windowed per-layer\n"
+      "                    counter time-series as CSV; combinable with --trace\n"
       "  --set key=value   scenario/driver parameter, repeatable.  Driver\n"
       "                    keys: quick=1 (smoke budget), replicas=N,\n"
       "                    samples=N; per-scenario keys are listed by --list.\n"
@@ -194,6 +205,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
       opt.out_dir = v;
+    } else if (a == "--trace") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (a == "--metrics") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      opt.metrics_path = v;
     } else if (a == "--backend") {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
@@ -294,14 +313,28 @@ int run(const Options& opt) {
     }
   }
 
+  std::size_t jobs = opt.jobs;
+  const bool exporting = !opt.trace_path.empty() || !opt.metrics_path.empty();
+  if (exporting) {
+    // The first armed Observer constructed in the process claims the
+    // export; with one worker that is deterministically replica 0 of the
+    // first point of the first selected scenario.
+    if (jobs != 1)
+      std::cerr << "fdgm_bench: --trace/--metrics force --jobs 1 for a "
+                   "deterministic export\n";
+    jobs = 1;
+    obs::Observer::set_export_paths(opt.trace_path, opt.metrics_path);
+  }
+
   ScenarioContext ctx;
   ctx.params = opt.params;
-  ctx.jobs = opt.jobs;
+  ctx.jobs = jobs;
   ctx.seed = opt.seed;
   ctx.faults = opt.faults;
   ctx.scheduler = opt.scheduler;
   ctx.transport.enabled = opt.transport;
   ctx.batching.enabled = opt.batch;
+  ctx.obs.enabled = exporting;
   ctx.profile = opt.profile;
   try {
     if (ctx.param_flag("quick")) shrink_for_quick(ctx.budget);
@@ -315,7 +348,7 @@ int run(const Options& opt) {
   // One worker pool for the whole invocation: every scenario's fill_rows
   // reuses the same threads instead of spawning a pool per sweep.
   std::unique_ptr<core::ThreadPool> pool;
-  if (const std::size_t workers = core::effective_jobs(opt.jobs); workers > 1) {
+  if (const std::size_t workers = core::effective_jobs(jobs); workers > 1) {
     pool = std::make_unique<core::ThreadPool>(workers);
     ctx.pool = pool.get();
   }
@@ -342,11 +375,18 @@ int run(const Options& opt) {
       table.add_column("peak RSS [MB]", util::Table::cell(peak_rss_mb(), 1));
     }
     if (!opt.out_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(opt.out_dir, ec);
+      if (ec) {
+        std::cerr << "fdgm_bench: cannot create --out directory '" << opt.out_dir
+                  << "': " << ec.message() << '\n';
+        return 2;
+      }
       const std::string path = opt.out_dir + "/" + s->name + "." + extension(opt.format);
       std::ofstream file(path);
       if (!file) {
         std::cerr << "fdgm_bench: cannot write " << path << '\n';
-        return 1;
+        return 2;
       }
       render(table, opt.format, file);
       std::cout << s->name << " -> " << path << '\n';

@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 #endif
 
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -27,6 +28,7 @@
 
 #include "core/experiment.hpp"
 #include "net/system.hpp"
+#include "obs/observer.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "transport/transport.hpp"
@@ -414,6 +416,53 @@ void BM_BatchedSubmit_wheel(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedSubmit_wheel);
 
+// Armed observer hot path in isolation: the full hook mix a protocol
+// round produces — span lifecycle (submit / order_start / ordered /
+// delivered), counters, retransmit attribution, reorder gauges and lazy
+// metrics-window rolls.  The slabs are reserved at construction and a
+// snapshot row is a fixed array, so after construction the hooks must
+// never allocate — including once the span slabs fill and the observer
+// switches to flight-recorder drops (the kernel deliberately runs past
+// capacity).  perf-smoke asserts allocs_per_event == 0 here; together
+// with the determinism tests (armed run reproduces the golden hashes)
+// this is the "armed is free" half of the observability contract.
+void BM_ObserverArmedHooks(benchmark::State& state) {
+  constexpr int kN = 8;
+  constexpr int kMsgs = 64;
+  obs::Config cfg;
+  cfg.enabled = true;
+  obs::Observer o(kN, cfg);
+  double now = 0.0;
+  std::array<std::uint64_t, kN> seqs{};  // seq numbers are dense per origin
+  auto round = [&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      const int origin = i % kN;
+      const std::uint64_t s = ++seqs[static_cast<std::size_t>(origin)];
+      o.on_submit(origin, s, now);
+      o.on_order_start(origin, s, now + 0.1);
+      o.on_ordered(origin, s, now + 1.0);
+      o.on_delivered(origin, s, now + 2.0);
+      o.count(origin, obs::Counter::kConsensusRounds, now);
+      o.on_retransmit(origin, now);
+      o.reorder_depth(origin, static_cast<std::size_t>(i % 7));
+      now += 0.25;  // crosses a metrics-window boundary every 400 hooks
+    }
+  };
+  round();  // warm-up (nothing to grow, but keep the kernel shape uniform)
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t hooks = 0;
+  for (auto _ : state) {
+    round();
+    hooks += kMsgs * 7;
+  }
+  state.SetItemsProcessed(hooks);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(hooks);
+  benchmark::DoNotOptimize(o.total(obs::Counter::kTransportRetx));
+  benchmark::DoNotOptimize(o.spans_dropped());
+}
+BENCHMARK(BM_ObserverArmedHooks);
+
 void BM_AbcastSecond(benchmark::State& state) {
   // Cost of one simulated second of atomic broadcast at T=300/s, n=3.
   const auto algo = static_cast<core::Algorithm>(state.range(0));
@@ -429,6 +478,30 @@ void BM_AbcastSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AbcastSecond)
+    ->Arg(static_cast<int>(core::Algorithm::kFd))
+    ->Arg(static_cast<int>(core::Algorithm::kGm));
+
+// Same run with the observer armed: the end-to-end cost of tracing every
+// message lifecycle plus the counter registry.  Compare against
+// BM_AbcastSecond — the delta is the observability tax on a full
+// simulated second (the hooks themselves are allocation-free, see
+// BM_ObserverArmedHooks).
+void BM_AbcastSecondObserved(benchmark::State& state) {
+  const auto algo = static_cast<core::Algorithm>(state.range(0));
+  for (auto _ : state) {
+    core::SimConfig cfg;
+    cfg.algorithm = algo;
+    cfg.n = 3;
+    cfg.seed = 7;
+    cfg.obs.enabled = true;
+    core::SimRun run(cfg, core::WorkloadConfig{.throughput = 300.0});
+    run.start();
+    run.run_until(1000.0);
+    benchmark::DoNotOptimize(run.recorder().total_delivered());
+    benchmark::DoNotOptimize(run.observer()->spans_recorded());
+  }
+}
+BENCHMARK(BM_AbcastSecondObserved)
     ->Arg(static_cast<int>(core::Algorithm::kFd))
     ->Arg(static_cast<int>(core::Algorithm::kGm));
 

@@ -56,6 +56,11 @@ struct ScenarioContext {
   /// simulation of every sweep.  Scenarios with dedicated batched rows
   /// (saturation_knee, the "-b" modes) arm it themselves per row.
   abcast::BatchConfig batching;
+  /// Observability from the CLI (--trace/--metrics arm it for every
+  /// simulation of every sweep; scenarios that need the phase
+  /// decomposition, like lossy_decomposition, arm it themselves).  Armed
+  /// observability is passive — the default CSV columns are unchanged.
+  obs::Config obs;
   /// Per-scenario parameters from the CLI (`--set key=value`, repeatable).
   /// The driver rejects keys that no selected scenario (and no driver
   /// knob) declares; values are validated by the typed getters below.
@@ -174,6 +179,7 @@ inline core::SimConfig sim_config_ctx(core::Algorithm a, int n, const ScenarioCo
   cfg.scheduler = ctx.scheduler;
   cfg.transport = ctx.transport;
   cfg.batching = ctx.batching;
+  cfg.obs = ctx.obs;
   return cfg;
 }
 

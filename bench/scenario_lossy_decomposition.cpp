@@ -1,0 +1,103 @@
+// Phase-latency decomposition under loss (src/obs/): where does the time
+// of a lossy delivery actually go?
+//
+// Arms the observability layer and splits each stack's end-to-end delivery
+// latency into the three lifecycle phases the observer records per
+// message:
+//
+//   submit [ms]   submission wait — a_broadcast to entering the ordering
+//                 machinery (zero unbatched, queueing delay batched)
+//   order [ms]    ordering — FD: until the first consensus decision
+//                 covering the message; GM: until the sequencer assigns
+//                 its sequence number
+//   deliver [ms]  ordered to the first A-delivery anywhere — under loss
+//                 this is transport-recovery time (the decision / SEQNUM /
+//                 content frames that must survive the lossy wire)
+//
+// plus the sequencer-concentration metric (share of retransmissions
+// originating at process 0, the GM sequencer).  The sweep focuses on the
+// ROADMAP hotspot question — n = 32 @ 5% loss, where GM's 2.1 s dwarfs
+// FD's 0.53 s — with smaller points for scale context.  Same load and
+// fault setup as lossy_throughput, so the totals line up with its rows.
+#include "scenario.hpp"
+
+namespace fdgm::bench {
+namespace {
+
+constexpr double kLossHorizon = 1.0e7;
+
+double throughput_for(int n) { return n >= 32 ? 50.0 : 100.0; }
+
+util::Table run_decomposition(const ScenarioContext& ctx) {
+  util::Table table({"algo", "n", "loss [%]", "T [1/s]", "total [ms]", "submit [ms]",
+                     "order [ms]", "deliver [ms]", "seq-retx share", "retx/s"});
+
+  const bool quick = ctx.param_flag("quick");
+
+  struct Point {
+    int n;
+    double loss;
+  };
+  std::vector<Point> points{{7, 0.01}, {16, 0.05}, {32, 0.01}, {32, 0.05}};
+  if (quick) points = {{3, 0.01}, {7, 0.05}};
+
+  std::vector<RowJob> jobs;
+  for (const Point& pt : points) {
+    for (core::Algorithm algo : {core::Algorithm::kFd, core::Algorithm::kGm}) {
+      jobs.push_back([pt, algo, &ctx] {
+        const double throughput = throughput_for(pt.n);
+        const core::SteadyConfig sc = steady_from_ctx(throughput, ctx);
+
+        core::SimConfig cfg = sim_config_ctx(algo, pt.n, ctx);
+        cfg.transport.enabled = true;
+        cfg.fd_params.detection_time = 30.0;
+        cfg.obs.enabled = true;
+        fault::FaultEvent e;
+        e.kind = fault::FaultKind::kLoss;
+        e.rate = pt.loss;
+        e.at = 0.0;
+        e.until = kLossHorizon;
+        cfg.faults.add(e);
+
+        const core::PointResult r = core::run_steady(cfg, sc);
+        std::vector<std::string> row{core::algorithm_name(algo), std::to_string(pt.n),
+                                     util::Table::cell(pt.loss * 100.0),
+                                     util::Table::cell(throughput, 0)};
+        if (!r.stable || r.phase_count == 0) {
+          row.insert(row.end(), {"unstable", "-", "-", "-", "-", "-"});
+          return row;
+        }
+        const auto per = [&](double sum) {
+          return util::Table::cell(sum / static_cast<double>(r.phase_count));
+        };
+        // The three phase means add up to the end-to-end mean over the
+        // same message population (global-first deliveries), which can
+        // sit slightly below the per-process latency column of
+        // lossy_throughput — by construction, min <= mean over processes.
+        row.push_back(per(r.phase_submit_ms + r.phase_order_ms + r.phase_deliver_ms));
+        row.push_back(per(r.phase_submit_ms));
+        row.push_back(per(r.phase_order_ms));
+        row.push_back(per(r.phase_deliver_ms));
+        row.push_back(r.retransmits == 0
+                          ? "-"
+                          : util::Table::cell(static_cast<double>(r.retx_origin0) /
+                                                  static_cast<double>(r.retransmits),
+                                              3));
+        row.push_back(util::Table::cell(
+            static_cast<double>(r.retransmits) / (r.sim_ms / 1000.0), 2));
+        return row;
+      });
+    }
+  }
+  fill_rows(table, ctx, jobs);
+  return table;
+}
+
+const ScenarioRegistrar reg{{"lossy_decomposition",
+                             "Phase-latency decomposition under loss (armed src/obs/): "
+                             "submission-wait / ordering / transport-recovery splits plus "
+                             "sequencer retx concentration, focused on n = 32 @ 5%",
+                             "beyond paper", run_decomposition, {}}};
+
+}  // namespace
+}  // namespace fdgm::bench

@@ -39,8 +39,13 @@ util::Table run_lossy(const ScenarioContext& ctx) {
   std::vector<std::string> headers{"n", "loss [%]", "mode", "T [1/s]",
                                    "FD [ms]", "FD ci95", "GM [ms]", "GM ci95"};
   if (ctx.profile) {
-    headers.insert(headers.end(),
-                   {"FD retx/s", "FD dups", "GM retx/s", "GM dups"});
+    // "seq-retx" is the sequencer-concentration metric: the share of all
+    // retransmissions whose original sender is process 0 — the GM
+    // sequencer.  A uniform spread would put it at 1/n; the GM column
+    // sitting far above that quantifies the fixed-sequencer hotspot (the
+    // FD column is the no-special-role baseline of the same process).
+    headers.insert(headers.end(), {"FD retx/s", "FD dups", "FD seq-retx", "GM retx/s",
+                                   "GM dups", "GM seq-retx"});
   }
   util::Table table(headers);
 
@@ -100,6 +105,11 @@ util::Table run_lossy(const ScenarioContext& ctx) {
           diag.push_back(util::Table::cell(
               static_cast<double>(r.retransmits) / (r.sim_ms / 1000.0), 2));
           diag.push_back(std::to_string(r.dup_suppressed));
+          diag.push_back(r.retransmits == 0
+                             ? "-"
+                             : util::Table::cell(static_cast<double>(r.retx_origin0) /
+                                                     static_cast<double>(r.retransmits),
+                                                 3));
         }
       }
       row.insert(row.end(), diag.begin(), diag.end());

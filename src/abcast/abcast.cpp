@@ -1,5 +1,7 @@
 #include "abcast/abcast.hpp"
 
+#include "obs/observer.hpp"
+
 namespace fdgm::abcast {
 
 AtomicBroadcastProcess::AtomicBroadcastProcess(net::System& sys, net::ProcessId self,
@@ -22,6 +24,12 @@ MsgId AtomicBroadcastProcess::a_broadcast() {
 }
 
 void AtomicBroadcastProcess::enqueue_submission(AppMessagePtr msg) {
+  if (auto* o = sys_->obs()) {
+    o->on_submit(msg->id.origin, msg->id.seq, sys_->now());
+    // Unbatched, the message enters the ordering machinery in this very
+    // call: the submission-wait phase is zero by construction.
+    if (!batching_.enabled) o->on_order_start(msg->id.origin, msg->id.seq, sys_->now());
+  }
   if (!batching_.enabled) {
     // Bit-identity contract: the unbatched path is exactly the
     // pre-batching hot path — no queue, no timer, no credit accounting.
@@ -63,6 +71,10 @@ void AtomicBroadcastProcess::flush_queue() {
   // vectors ping-pong their capacity, so steady state does not allocate.
   flushing_.clear();
   flushing_.swap(queue_);
+  if (auto* o = sys_->obs()) {
+    for (const AppMessagePtr m : flushing_) o->on_order_start(m->id.origin, m->id.seq, sys_->now());
+    o->on_batch_flush(self_, flushing_.size(), sys_->now());
+  }
   if (flushing_.size() == 1)
     submit_now(flushing_.front());
   else
@@ -81,6 +93,9 @@ void AtomicBroadcastProcess::arm_flush_timer() {
 }
 
 void AtomicBroadcastProcess::deliver(const AppMessage& m) {
+  // First-write-wins inside the observer: across the n local deliveries
+  // of one message this records the *global-first* A-delivery instant.
+  if (auto* o = sys_->obs()) o->on_delivered(m.id.origin, m.id.seq, sys_->now());
   if (m.id.origin == self_ && in_flight_ > 0) {
     --in_flight_;
     // Release edge: the window was exhausted and just reopened.

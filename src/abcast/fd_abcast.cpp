@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::abcast {
 
 namespace {
@@ -275,6 +277,12 @@ void FdAbcastProcess::maybe_start_next() {
 void FdAbcastProcess::on_decide(const consensus::InstanceKey& key, const net::PayloadPtr& value) {
   const Proposal* prop = net::payload_cast<Proposal>(value);
   if (prop == nullptr) throw std::logic_error("FdAbcastProcess: bad decision payload");
+  // A consensus decision fixes the global order of every message it
+  // covers; first-write-wins in the observer makes this the *earliest*
+  // decision instant across the n processes deciding the instance.
+  if (auto* o = sys_->obs()) {
+    for (const MsgId& id : prop->ids) o->on_ordered(id.origin, id.seq, sys_->now());
+  }
   ready_decisions_.emplace(key.number, prop);
   process_ready_decisions();
   maybe_start_next();

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::abcast {
 
 // -------------------------------------------------------------- wire types
@@ -188,6 +190,11 @@ void GmAbcastProcess::sequence_pending() {
     assigned.emplace_back(id, sn);
   }
   if (assigned.empty()) return;
+  // The sequencer's sn assignment is the instant a GM message's global
+  // order becomes fixed — the "ordered" point of its lifecycle span.
+  if (auto* o = sys_->obs()) {
+    for (const auto& [id, sn] : assigned) o->on_ordered(id.origin, id.seq, sys_->now());
+  }
   batch_ends_.push_back(next_sn_ - 1);
   sys_->node(self_).multicast_others(
       view_.members, net::ProtocolId::kAtomicBroadcast,

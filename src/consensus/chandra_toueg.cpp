@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::consensus {
 
 namespace {
@@ -31,6 +33,8 @@ void Instance::reset(InstanceKey key, StartInfo info) {
   estimate_ = std::move(info.initial);
   ts_ = 0;
   round_ = 1;
+  if (auto* o = service_->system().obs())
+    o->count(self_, obs::Counter::kConsensusRounds, service_->system().now());
   done_ = false;
   in_progress_ = false;
   std::sort(members_.begin(), members_.end());
@@ -147,6 +151,8 @@ void Instance::on_suspect(net::ProcessId p) {
 
 void Instance::advance_to(std::uint32_t r) {
   if (r <= round_) return;
+  if (auto* o = service_->system().obs())
+    o->count(self_, obs::Counter::kConsensusRounds, service_->system().now(), r - round_);
   round_ = r;
   RoundState& st = rs(round_);
   if (!st.estimate_sent) {
@@ -239,7 +245,10 @@ void Instance::try_progress() {
       }
       // Tell everybody the round failed so that processes waiting for the
       // decision resynchronize immediately instead of waiting for their
-      // failure detector.
+      // failure detector.  Counted once, at the coordinator that resolved
+      // the round — not at the n-1 receivers of the announcement.
+      if (auto* o = service_->system().obs())
+        o->count(self_, obs::Counter::kConsensusRoundFails, service_->system().now());
       const ConsensusMsg* msg = service_->system().arena().make<ConsensusMsg>(
           key_, ConsensusMsg::Kind::kRoundFailed, r, nullptr, /*ts=*/0);
       service_->multicast_others(members_, msg);

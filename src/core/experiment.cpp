@@ -34,6 +34,10 @@ SimRun::SimRun(const SimConfig& cfg, WorkloadConfig wl) : cfg_(cfg) {
   net::NetworkConfig net_cfg;
   net_cfg.lambda = cfg.lambda;
   sys_ = std::make_unique<net::System>(cfg.n, net_cfg, cfg.seed, cfg.scheduler, cfg.transport);
+  if (cfg.obs.enabled) {
+    observer_ = std::make_unique<obs::Observer>(cfg.n, cfg.obs);
+    sys_->set_observer(observer_.get());
+  }
   fd_model_ = std::make_unique<fd::QosFailureDetectorModel>(*sys_, cfg.fd_params);
 
   procs_.reserve(static_cast<std::size_t>(cfg.n));

@@ -17,6 +17,7 @@
 #include "fault/injector.hpp"
 #include "fd/qos_model.hpp"
 #include "net/system.hpp"
+#include "obs/observer.hpp"
 
 namespace fdgm::core {
 
@@ -56,6 +57,10 @@ struct SimConfig {
   /// Submission batching + adaptive flow control (both stacks).  Disabled
   /// by default: runs are bit-identical to the unbatched tree.
   abcast::BatchConfig batching;
+  /// Observability (src/obs/): lifecycle spans, counter registry, phase
+  /// decomposition.  Disarmed by default; armed it is passive (no events,
+  /// no RNG draws), so even armed runs are bit-identical.
+  obs::Config obs;
 };
 
 /// Process-wide count of scheduler events executed by completed (i.e.
@@ -81,6 +86,8 @@ class SimRun : private abcast::DeliverSink {
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
   /// Null when the config carries no fault schedule.
   [[nodiscard]] fault::Injector* injector() { return injector_.get(); }
+  /// Null when observability is disarmed.
+  [[nodiscard]] obs::Observer* observer() { return observer_.get(); }
 
   /// Starts the failure-detector renewal processes, the workload and the
   /// fault injector (if a schedule was configured).
@@ -98,6 +105,10 @@ class SimRun : private abcast::DeliverSink {
 
   SimConfig cfg_;
   std::unique_ptr<net::System> sys_;
+  // Declared directly after sys_: the observer outlives every component
+  // whose hooks reach it, and its destructor (which flushes a claimed
+  // --trace/--metrics export) runs while the system is still intact.
+  std::unique_ptr<obs::Observer> observer_;
   std::unique_ptr<fd::QosFailureDetectorModel> fd_model_;
   std::vector<std::unique_ptr<abcast::AtomicBroadcastProcess>> procs_;
   LatencyRecorder recorder_;

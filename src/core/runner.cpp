@@ -20,6 +20,8 @@ struct ReplicaOutcome {
   std::uint64_t dup_suppressed = 0;
   std::uint64_t generated = 0;
   std::uint64_t shed = 0;
+  std::uint64_t retx_origin0 = 0;
+  obs::PhaseTotals phases;
 };
 
 /// Copies the transport and workload counters (and the simulated horizon)
@@ -31,7 +33,14 @@ void capture_run_stats(SimRun& run, ReplicaOutcome& o) {
   if (const transport::Transport* t = run.system().transport()) {
     o.retransmits = t->stats().retransmits;
     o.dup_suppressed = t->stats().duplicates;
+    o.retx_origin0 = t->retx_from(0);
   }
+}
+
+/// Phase-latency decomposition over the measurement window [t0, t_end);
+/// zeros when observability is disarmed.
+void capture_phases(SimRun& run, ReplicaOutcome& o, sim::Time t0, sim::Time t_end) {
+  if (obs::Observer* ob = run.observer()) o.phases = ob->phase_totals(t0, t_end);
 }
 
 ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
@@ -83,6 +92,7 @@ ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
 
   out.events = sched.executed();
   capture_run_stats(run, out);
+  capture_phases(run, out, t0, t_end);
   const util::RunningStats stats = run.recorder().window_stats(t0, t_end);
   if (stats.count() == 0) return out;
   out.mean = stats.mean();
@@ -132,6 +142,11 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
     out.dup_suppressed += o.dup_suppressed;
     out.generated += o.generated;
     out.shed += o.shed;
+    out.retx_origin0 += o.retx_origin0;
+    out.phase_count += o.phases.count;
+    out.phase_submit_ms += o.phases.submit_wait_ms;
+    out.phase_order_ms += o.phases.ordering_ms;
+    out.phase_deliver_ms += o.phases.delivery_ms;
     if (!o.stable) {
       out.stable = false;
       continue;

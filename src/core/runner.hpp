@@ -56,6 +56,19 @@ struct PointResult {
   /// overloaded point.
   std::uint64_t generated = 0;
   std::uint64_t shed = 0;
+  /// Retransmissions whose original sender is process 0 — the GM
+  /// sequencer in a steady run.  retx_origin0 / retransmits is the
+  /// sequencer-concentration metric of the lossy scenarios.  Tracked by
+  /// the transport itself, so it needs no armed observer.
+  std::uint64_t retx_origin0 = 0;
+  /// Phase-latency decomposition summed over the replicas' measurement
+  /// windows; all zero unless SimConfig::obs is armed.  Dividing each sum
+  /// by phase_count gives the per-message mean of that phase, and the
+  /// three means add up to the end-to-end delivery latency.
+  std::size_t phase_count = 0;
+  double phase_submit_ms = 0.0;
+  double phase_order_ms = 0.0;
+  double phase_deliver_ms = 0.0;
 };
 
 /// Steady-state scenarios.  `initial_crashes` are crashed at t=0 (use

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::core {
 
 Workload::Workload(net::System& sys, std::vector<abcast::AtomicBroadcastProcess*> procs,
@@ -42,6 +44,8 @@ void Workload::schedule_next(std::size_t idx) {
     if (!procs_[idx]->can_submit()) {
       // Back-pressure: shed this arrival, keep the chain running.
       ++shed_;
+      if (auto* o = sys_->obs())
+        o->count(static_cast<int>(idx), obs::Counter::kCreditSheds, sys_->now());
       schedule_next(idx);
       return;
     }

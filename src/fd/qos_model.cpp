@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::fd {
 
 QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams params)
@@ -49,6 +51,7 @@ void QosFailureDetectorModel::on_crash(net::ProcessId p, sim::Time when) {
       // restart + TD, which is strictly later than this event).
       if (sys_->node(p).crashed()) st.crashed_permanent = true;
       if (sys_->node(q).crashed()) return;  // a dead monitor notifies nobody
+      if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, sys_->now());
       at(q).set_suspected(p, true);
     });
   }
@@ -108,6 +111,7 @@ void QosFailureDetectorModel::inject_suspicion(net::ProcessId q, net::ProcessId 
   if (q == p) return;
   PairState& st = pair(q, p);
   if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
+  if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, sys_->now());
   at(q).set_suspected(p, true);
   if (st.suspect_until < until) st.suspect_until = until;
   schedule_release(q, p, until);
@@ -140,6 +144,7 @@ void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::Proce
 
     const sim::Time start = sys_->now();
     const double duration = st.rng.exponential(params_.mistake_duration);
+    if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, start);
     at(q).set_suspected(p, true);
 
     const sim::Time until = start + duration;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::gm {
 
 namespace {
@@ -337,6 +339,7 @@ void GroupMembership::process_decision(const MembershipProposal& d) {
 void GroupMembership::install_view(View v) {
   view_ = std::move(v);
   status_ = Status::kMember;
+  if (auto* o = sys_->obs()) o->count(self_, obs::Counter::kViewChanges, sys_->now());
   ++views_installed_;
   client_->on_view_installed(view_, true);
   replay_future(view_.id);
@@ -474,6 +477,7 @@ void GroupMembership::on_message(const net::Message& m) {
     client_->apply_state(s->state, s->view);
     view_ = s->view;
     status_ = Status::kMember;
+    if (auto* o = sys_->obs()) o->count(self_, obs::Counter::kViewChanges, sys_->now());
     ++views_installed_;
     client_->on_view_installed(view_, true);
     replay_future(view_.id);

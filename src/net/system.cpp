@@ -24,6 +24,11 @@ System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
   }
 }
 
+void System::set_observer(obs::Observer* o) {
+  obs_ = o;
+  if (transport_ != nullptr) transport_->set_observer(o);
+}
+
 std::vector<ProcessId> System::alive() const {
   std::vector<ProcessId> out;
   out.reserve(nodes_.size());

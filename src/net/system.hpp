@@ -18,6 +18,10 @@
 #include "sim/scheduler.hpp"
 #include "transport/transport.hpp"
 
+namespace fdgm::obs {
+class Observer;
+}  // namespace fdgm::obs
+
 namespace fdgm::net {
 
 class System : private Network::Sink, private transport::Transport::Sink {
@@ -43,6 +47,14 @@ class System : private Network::Sink, private transport::Transport::Sink {
 
   /// The master RNG for this run; components fork sub-streams off it.
   [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// The observability layer; null when disarmed (the default).  Hook
+  /// sites across the stack are `if (auto* o = sys.obs())`, so a
+  /// disarmed run takes no observability branches at all.
+  [[nodiscard]] obs::Observer* obs() const { return obs_; }
+  /// Attach (or detach, with null) the observer.  The System does not
+  /// own it; the SimRun does.  Propagates to the transport.
+  void set_observer(obs::Observer* o);
 
   /// The run's payload arena: every payload sent through this system is
   /// allocated here and lives until the System is destroyed.
@@ -100,6 +112,7 @@ class System : private Network::Sink, private transport::Transport::Sink {
   std::unique_ptr<transport::Transport> transport_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<ProcessId> all_;
+  obs::Observer* obs_ = nullptr;
   std::vector<std::function<void(ProcessId, sim::Time)>> crash_listeners_;
   std::vector<std::function<void(ProcessId, sim::Time)>> recovery_listeners_;
 };

@@ -1,0 +1,39 @@
+// Per-node, per-layer counter registry of the observability subsystem.
+//
+// Counters are dense enum-indexed slots: every node owns one fixed-size
+// row, so counting is two array indexings and an increment — cheap enough
+// to leave compiled into the hot paths behind a null-pointer guard, and
+// allocation-free once the Observer is constructed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fdgm::obs {
+
+enum class Counter : std::uint8_t {
+  // transport layer
+  kTransportRetx = 0,    // retransmissions originated (timer + NACK)
+  kTransportRetxNack,    // ... of which NACK-triggered
+  kTransportRetxTimer,   // ... of which blind-timer probes
+  kTransportNacks,       // NACK control frames sent
+  kTransportDups,        // duplicate frames suppressed at the receiver
+  kTransportBuffered,    // out-of-order frames parked in the reorder buffer
+  // consensus layer (FD stack)
+  kConsensusRounds,      // rounds entered (round 1 of every instance included)
+  kConsensusRoundFails,  // rounds a coordinator resolved as failed (any NACK)
+  // failure-detector / membership layers
+  kSuspicions,           // suspicion edges raised at a monitor
+  kViewChanges,          // views installed (GM stack)
+  // submission layer
+  kBatchesFlushed,       // submission batches handed to the ordering machinery
+  kCreditSheds,          // open-loop arrivals shed by the credit window
+  kCount
+};
+
+inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
+
+/// Short machine-readable name (metrics CSV column header).
+[[nodiscard]] const char* counter_name(Counter c);
+
+}  // namespace fdgm::obs

@@ -1,0 +1,306 @@
+#include "obs/observer.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <iomanip>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+namespace fdgm::obs {
+
+namespace {
+
+// Process-global export claim (see Observer::set_export_paths).  The bench
+// driver forces --jobs 1 when exports are requested, so no worker thread
+// races the first armed Observer for the claim; the mutex is belt and
+// braces for embedders that arm exports with parallel replicas anyway.
+std::mutex g_export_mu;
+std::string g_trace_path;    // NOLINT(runtime/string)
+std::string g_metrics_path;  // NOLINT(runtime/string)
+
+}  // namespace
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kTransportRetx: return "transport_retx";
+    case Counter::kTransportRetxNack: return "transport_retx_nack";
+    case Counter::kTransportRetxTimer: return "transport_retx_timer";
+    case Counter::kTransportNacks: return "transport_nacks";
+    case Counter::kTransportDups: return "transport_dups";
+    case Counter::kTransportBuffered: return "transport_buffered";
+    case Counter::kConsensusRounds: return "consensus_rounds";
+    case Counter::kConsensusRoundFails: return "consensus_round_fails";
+    case Counter::kSuspicions: return "suspicions";
+    case Counter::kViewChanges: return "view_changes";
+    case Counter::kBatchesFlushed: return "batches_flushed";
+    case Counter::kCreditSheds: return "credit_sheds";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+Observer::Observer(int num_processes, Config cfg)
+    : n_(num_processes),
+      cfg_(cfg),
+      submit_wait_hist_(0.0, cfg.histogram_max_ms, cfg.histogram_bins),
+      ordering_hist_(0.0, cfg.histogram_max_ms, cfg.histogram_bins),
+      delivery_hist_(0.0, cfg.histogram_max_ms, cfg.histogram_bins),
+      batch_hist_(0.0, 256.0, 64),
+      next_window_(cfg.metrics_window_ms) {
+  spans_.resize(static_cast<std::size_t>(n_));
+  for (auto& slab : spans_) slab.reserve(cfg_.span_capacity);
+  counters_.assign(static_cast<std::size_t>(n_) * kCounterCount, 0);
+  retx_origin_.assign(static_cast<std::size_t>(n_), 0);
+  reorder_peak_.assign(static_cast<std::size_t>(n_), 0);
+  snapshots_.reserve(cfg_.snapshot_capacity);
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  if (!g_trace_path.empty() || !g_metrics_path.empty()) {
+    trace_path_ = std::move(g_trace_path);
+    metrics_path_ = std::move(g_metrics_path);
+    g_trace_path.clear();
+    g_metrics_path.clear();
+  }
+}
+
+Observer::~Observer() {
+  if (claimed_export()) flush_export();
+}
+
+void Observer::set_export_paths(std::string trace_path, std::string metrics_path) {
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  g_trace_path = std::move(trace_path);
+  g_metrics_path = std::move(metrics_path);
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+Span* Observer::find(int origin, std::uint64_t seq) {
+  if (origin < 0 || origin >= n_ || seq == 0) return nullptr;
+  auto& slab = spans_[static_cast<std::size_t>(origin)];
+  const std::uint64_t idx = seq - 1;
+  if (idx < slab.size()) return &slab[idx];
+  return nullptr;
+}
+
+void Observer::on_submit(int origin, std::uint64_t seq, double now) {
+  if (now >= next_window_) roll_window(now);
+  if (origin < 0 || origin >= n_ || seq == 0) return;
+  auto& slab = spans_[static_cast<std::size_t>(origin)];
+  const std::uint64_t idx = seq - 1;
+  if (idx == slab.size() && slab.size() < cfg_.span_capacity) {
+    // push_back never reallocates: the slab is reserved to capacity up
+    // front, keeping the armed hot path allocation-free.
+    slab.emplace_back();
+    slab.back().submit = now;
+    return;
+  }
+  if (idx < slab.size()) {
+    if (slab[idx].submit < 0.0) slab[idx].submit = now;
+    return;
+  }
+  ++spans_dropped_;
+}
+
+void Observer::on_order_start(int origin, std::uint64_t seq, double now) {
+  if (now >= next_window_) roll_window(now);
+  if (Span* s = find(origin, seq); s && s->order_start < 0.0) s->order_start = now;
+}
+
+void Observer::on_ordered(int origin, std::uint64_t seq, double now) {
+  if (now >= next_window_) roll_window(now);
+  if (Span* s = find(origin, seq); s && s->ordered < 0.0) s->ordered = now;
+}
+
+void Observer::on_delivered(int origin, std::uint64_t seq, double now) {
+  if (now >= next_window_) roll_window(now);
+  Span* s = find(origin, seq);
+  if (s == nullptr || s->delivered >= 0.0) return;
+  s->delivered = now;
+  // Paths that deliver without an explicit ordering instant (e.g. the GM
+  // view-change flush) collapse the ordering phase onto delivery.
+  if (s->ordered < 0.0) s->ordered = now;
+  if (s->order_start < 0.0) s->order_start = s->submit;
+  if (s->submit < 0.0) return;  // untracked origin; nothing to decompose
+  submit_wait_hist_.add(s->order_start - s->submit);
+  ordering_hist_.add(s->ordered - s->order_start);
+  delivery_hist_.add(s->delivered - s->ordered);
+}
+
+// ----------------------------------------------------------- counters/gauges
+
+void Observer::count(int node, Counter c, double now, std::uint64_t delta) {
+  if (now >= next_window_) roll_window(now);
+  if (node < 0 || node >= n_) return;
+  counters_[static_cast<std::size_t>(node) * kCounterCount + static_cast<std::size_t>(c)] +=
+      delta;
+}
+
+void Observer::on_retransmit(int origin, double now) {
+  count(origin, Counter::kTransportRetx, now);
+  if (origin >= 0 && origin < n_) ++retx_origin_[static_cast<std::size_t>(origin)];
+}
+
+void Observer::on_batch_flush(int node, std::size_t batch_size, double now) {
+  count(node, Counter::kBatchesFlushed, now);
+  batch_hist_.add(static_cast<double>(batch_size));
+}
+
+void Observer::reorder_depth(int node, std::size_t depth) {
+  if (node < 0 || node >= n_) return;
+  auto& peak = reorder_peak_[static_cast<std::size_t>(node)];
+  if (depth > peak) peak = depth;
+}
+
+void Observer::roll_window(double now) {
+  // One row per crossing, stamped at the boundary that was crossed; after
+  // a quiet gap the next row simply covers the whole gap (cumulative
+  // counters make the rows self-describing).
+  if (snapshots_.size() < cfg_.snapshot_capacity) {
+    Snapshot snap;
+    snap.t = next_window_;
+    for (int node = 0; node < n_; ++node) {
+      for (std::size_t c = 0; c < kCounterCount; ++c) {
+        snap.agg[c] += counters_[static_cast<std::size_t>(node) * kCounterCount + c];
+      }
+    }
+    snapshots_.push_back(snap);
+  } else {
+    ++snapshots_dropped_;
+  }
+  const double w = cfg_.metrics_window_ms;
+  next_window_ = (std::floor(now / w) + 1.0) * w;
+}
+
+// ------------------------------------------------------------- introspection
+
+std::uint64_t Observer::total(Counter c) const {
+  std::uint64_t sum = 0;
+  for (int node = 0; node < n_; ++node) sum += node_total(node, c);
+  return sum;
+}
+
+std::uint64_t Observer::node_total(int node, Counter c) const {
+  if (node < 0 || node >= n_) return 0;
+  return counters_[static_cast<std::size_t>(node) * kCounterCount + static_cast<std::size_t>(c)];
+}
+
+std::uint64_t Observer::retx_origin(int node) const {
+  if (node < 0 || node >= n_) return 0;
+  return retx_origin_[static_cast<std::size_t>(node)];
+}
+
+std::size_t Observer::reorder_peak(int node) const {
+  if (node < 0 || node >= n_) return 0;
+  return reorder_peak_[static_cast<std::size_t>(node)];
+}
+
+const Span* Observer::span(int origin, std::uint64_t seq) const {
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast): lookup only
+  return const_cast<Observer*>(this)->find(origin, seq);
+}
+
+std::size_t Observer::spans_recorded() const {
+  std::size_t sum = 0;
+  for (const auto& slab : spans_) sum += slab.size();
+  return sum;
+}
+
+PhaseTotals Observer::phase_totals(double from, double to) const {
+  PhaseTotals t;
+  for (const auto& slab : spans_) {
+    for (const auto& s : slab) {
+      if (s.submit < from || s.submit >= to || s.delivered < 0.0) continue;
+      const double os = s.order_start < 0.0 ? s.submit : s.order_start;
+      const double od = s.ordered < 0.0 ? s.delivered : s.ordered;
+      ++t.count;
+      t.submit_wait_ms += os - s.submit;
+      t.ordering_ms += od - os;
+      t.delivery_ms += s.delivered - od;
+    }
+  }
+  return t;
+}
+
+// ------------------------------------------------------------------ exports
+
+void Observer::write_trace_json(std::ostream& os) const {
+  // Timestamps reach ~1e6 us of simulated time; the default 6-significant-
+  // digit float formatting would round them to whole us and make tracks
+  // look non-monotone.  17 digits round-trips a double exactly.
+  os << std::setprecision(17);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (int node = 0; node < n_; ++node) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << node
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+  // One track per message: pid = origin node, tid = the message's dense
+  // per-origin sequence number; three complete ("X") events per delivered
+  // message, timestamps in microseconds of simulated time.
+  auto emit = [&](int pid, std::uint64_t tid, const char* name, double t0_ms, double t1_ms) {
+    sep();
+    os << "{\"ph\":\"X\",\"cat\":\"abcast\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"" << name << "\",\"ts\":" << t0_ms * 1000.0
+       << ",\"dur\":" << (t1_ms > t0_ms ? (t1_ms - t0_ms) * 1000.0 : 0.0) << "}";
+  };
+  for (int origin = 0; origin < n_; ++origin) {
+    const auto& slab = spans_[static_cast<std::size_t>(origin)];
+    for (std::size_t i = 0; i < slab.size(); ++i) {
+      const Span& s = slab[i];
+      if (s.submit < 0.0) continue;
+      const std::uint64_t seq = static_cast<std::uint64_t>(i) + 1;
+      const double os_t = s.order_start < 0.0 ? s.submit : s.order_start;
+      emit(origin, seq, "submit-wait", s.submit, os_t);
+      if (s.ordered >= 0.0) {
+        emit(origin, seq, "ordering", os_t, s.ordered);
+        if (s.delivered >= 0.0) emit(origin, seq, "delivery", s.ordered, s.delivered);
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+void Observer::write_metrics_csv(std::ostream& os) const {
+  os << "t_ms";
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    os << ',' << counter_name(static_cast<Counter>(c));
+  }
+  os << '\n';
+  for (const auto& snap : snapshots_) {
+    os << snap.t;
+    for (std::size_t c = 0; c < kCounterCount; ++c) os << ',' << snap.agg[c];
+    os << '\n';
+  }
+}
+
+void Observer::flush_export() const {
+  auto open = [](const std::string& path) -> std::ofstream {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+      if (ec) {
+        std::cerr << "obs: cannot create directory " << parent.string() << ": " << ec.message()
+                  << '\n';
+      }
+    }
+    std::ofstream file(path);
+    if (!file) std::cerr << "obs: cannot write " << path << '\n';
+    return file;
+  };
+  if (!trace_path_.empty()) {
+    if (auto file = open(trace_path_)) write_trace_json(file);
+  }
+  if (!metrics_path_.empty()) {
+    if (auto file = open(metrics_path_)) write_metrics_csv(file);
+  }
+}
+
+}  // namespace fdgm::obs

@@ -1,0 +1,178 @@
+// Deterministic simulation-time observability: per-message lifecycle
+// spans, the per-node counter registry and phase-latency decomposition.
+//
+// Design contract (mirrors the transport's PR-5 discipline):
+//
+//  * Disarmed (the default) the subsystem is a null pointer — every hook
+//    site is `if (auto* o = sys->obs())`, so runs are bit-identical to a
+//    build without it: no events, no RNG draws, no allocations.
+//  * Armed it is *passive*: the Observer never schedules events, never
+//    draws randomness and never touches protocol state.  Metrics windows
+//    roll lazily off the timestamps the hooks already carry.  An armed
+//    run therefore reproduces the same golden delivery hashes and
+//    executed-event counts as a disarmed one (asserted by the
+//    determinism tests), which is a stronger property than "off is
+//    free": tracing a run cannot perturb it.
+//  * Armed steady state is allocation-free: span slabs are dense
+//    per-origin vectors reserved up front, counters are fixed arrays,
+//    metrics snapshots live in a pre-reserved ring.  When a slab fills,
+//    new spans are dropped and counted (flight-recorder semantics)
+//    instead of growing.  perf-smoke asserts allocs_per_event == 0 on
+//    the armed kernels.
+//
+// Lifecycle model (one Span per A-broadcast message, timestamps in
+// simulated ms, first-write-wins so the *global* first transition is
+// recorded):
+//
+//    submit       a_broadcast accepted the message at its origin
+//    order_start  it left the submission queue into the ordering
+//                 machinery (== submit when batching is off)
+//    ordered      its global order was fixed (FD: first consensus
+//                 decision covering it; GM: sequencer seq-assignment)
+//    delivered    first A-delivery anywhere
+//
+// The phase decomposition reported by the runner and the lossy
+// decomposition scenario is the differences of those timestamps:
+// submission-wait, ordering, and delivery (under loss: dominated by
+// transport recovery of the decision / SEQNUM / content frames).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/histogram.hpp"
+
+namespace fdgm::obs {
+
+/// Arming + sizing knobs (core::SimConfig::obs).
+struct Config {
+  /// Off by default: the observer is never constructed and every hook
+  /// collapses to a null-pointer test.
+  bool enabled = false;
+  /// Metrics snapshot cadence (simulated ms).  Windows roll lazily at
+  /// hook invocations — no timer events are ever scheduled.
+  double metrics_window_ms = 100.0;
+  /// Lifecycle span slots per origin process.  Message seq numbers are
+  /// dense per origin, so this bounds the traceable messages per sender;
+  /// beyond it spans are dropped and counted.
+  std::size_t span_capacity = 8192;
+  /// Metrics snapshot rows kept (flight recorder: drops are counted).
+  std::size_t snapshot_capacity = 8192;
+  /// Range/bin count of the per-phase latency histograms (ms).
+  double histogram_max_ms = 5000.0;
+  std::size_t histogram_bins = 250;
+};
+
+/// One message's lifecycle (timestamps in simulated ms; -1 = not seen).
+struct Span {
+  double submit = -1.0;
+  double order_start = -1.0;
+  double ordered = -1.0;
+  double delivered = -1.0;
+};
+
+/// Aggregated phase decomposition over a set of completed spans.
+struct PhaseTotals {
+  std::size_t count = 0;       // delivered messages covered
+  double submit_wait_ms = 0.0;  // sum over messages: order_start - submit
+  double ordering_ms = 0.0;     // sum: ordered - order_start
+  double delivery_ms = 0.0;     // sum: delivered - ordered
+};
+
+class Observer {
+ public:
+  Observer(int num_processes, Config cfg);
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+  ~Observer();
+
+  // ---- lifecycle hooks (hot path; allocation-free, first-write-wins) ----
+  void on_submit(int origin, std::uint64_t seq, double now);
+  void on_order_start(int origin, std::uint64_t seq, double now);
+  void on_ordered(int origin, std::uint64_t seq, double now);
+  void on_delivered(int origin, std::uint64_t seq, double now);
+
+  // ---- counters / gauges (hot path) ----
+  void count(int node, Counter c, double now, std::uint64_t delta = 1);
+  /// kTransportRetx at `origin` plus the per-origin retx tally the
+  /// sequencer-concentration metric reads.
+  void on_retransmit(int origin, double now);
+  /// kBatchesFlushed at `node` plus the batch-size histogram.
+  void on_batch_flush(int node, std::size_t batch_size, double now);
+  /// Tracks the peak reorder-buffer depth seen at `node`.
+  void reorder_depth(int node, std::size_t depth);
+
+  // ---- introspection (cold; tests, runner aggregation) ----
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t total(Counter c) const;
+  [[nodiscard]] std::uint64_t node_total(int node, Counter c) const;
+  [[nodiscard]] std::uint64_t retx_origin(int node) const;
+  [[nodiscard]] std::size_t reorder_peak(int node) const;
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+  [[nodiscard]] std::uint64_t snapshots_dropped() const { return snapshots_dropped_; }
+  /// Null when (origin, seq) was never recorded.
+  [[nodiscard]] const Span* span(int origin, std::uint64_t seq) const;
+  [[nodiscard]] std::size_t spans_recorded() const;
+  /// Phase sums over messages *submitted* in [from, to) and delivered.
+  [[nodiscard]] PhaseTotals phase_totals(double from, double to) const;
+  [[nodiscard]] const util::Histogram& submit_wait_hist() const { return submit_wait_hist_; }
+  [[nodiscard]] const util::Histogram& ordering_hist() const { return ordering_hist_; }
+  [[nodiscard]] const util::Histogram& delivery_hist() const { return delivery_hist_; }
+  [[nodiscard]] const util::Histogram& batch_hist() const { return batch_hist_; }
+  [[nodiscard]] std::size_t snapshot_count() const { return snapshots_.size(); }
+
+  // ---- exports (cold; allocate freely) ----
+  /// Chrome trace-event JSON (open in Perfetto / chrome://tracing): one
+  /// pid per origin node, one tid per message, three "X" phase spans.
+  void write_trace_json(std::ostream& os) const;
+  /// Windowed time-series CSV: t_ms + the cumulative counter registry
+  /// aggregated across nodes.
+  void write_metrics_csv(std::ostream& os) const;
+
+  // ---- process-global export claiming (fdgm_bench --trace/--metrics) ----
+  /// Arms the claim: the next armed Observer constructed in this process
+  /// becomes the exporter and writes the files when it is destroyed.
+  /// Empty path = that export is off.  The bench driver forces --jobs 1
+  /// alongside, so the claimant is deterministically the first replica of
+  /// the first point of the first selected scenario.
+  static void set_export_paths(std::string trace_path, std::string metrics_path);
+  [[nodiscard]] bool claimed_export() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+ private:
+  [[nodiscard]] Span* find(int origin, std::uint64_t seq);
+  void roll_window(double now);
+  void flush_export() const;
+
+  int n_;
+  Config cfg_;
+  std::vector<std::vector<Span>> spans_;  // [origin][seq - 1]
+  std::vector<std::uint64_t> counters_;   // [node * kCounterCount + c]
+  std::vector<std::uint64_t> retx_origin_;
+  std::vector<std::size_t> reorder_peak_;
+  std::uint64_t spans_dropped_ = 0;
+  util::Histogram submit_wait_hist_;
+  util::Histogram ordering_hist_;
+  util::Histogram delivery_hist_;
+  util::Histogram batch_hist_;
+
+  struct Snapshot {
+    double t = 0.0;
+    std::array<std::uint64_t, kCounterCount> agg{};
+  };
+  std::vector<Snapshot> snapshots_;
+  std::uint64_t snapshots_dropped_ = 0;
+  double next_window_;
+
+  std::string trace_path_;    // non-empty: this observer exports on destruction
+  std::string metrics_path_;
+};
+
+}  // namespace fdgm::obs

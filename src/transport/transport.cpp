@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::transport {
 
 Transport::Transport(sim::Scheduler& sched, net::Network& net, net::PayloadArena& arena,
@@ -20,6 +22,7 @@ Transport::Transport(sim::Scheduler& sched, net::Network& net, net::PayloadArena
       static_cast<std::size_t>(num_processes) * static_cast<std::size_t>(num_processes);
   send_.resize(pairs);
   recv_.resize(pairs);
+  retx_by_src_.assign(static_cast<std::size_t>(num_processes), 0);
 }
 
 std::size_t Transport::outstanding(net::ProcessId a, net::ProcessId b) const {
@@ -109,6 +112,7 @@ void Transport::on_frame(const net::Message& m, net::ProcessId dst) {
 
   if (seq < r.expected) {  // duplicate of an already-released frame
     ++stats_.duplicates;
+    if (obs_ != nullptr) obs_->count(dst, obs::Counter::kTransportDups, sched_->now());
     if (retx) send_ctrl(dst, m.src, TransportCtrl::Kind::kAck, 0);
     return;
   }
@@ -142,11 +146,16 @@ void Transport::on_frame(const net::Message& m, net::ProcessId dst) {
       [](const net::Message& e, std::uint32_t s) { return e.frame.seq_no() < s; });
   if (it != r.buffer.end() && it->frame.seq_no() == seq) {
     ++stats_.duplicates;
+    if (obs_ != nullptr) obs_->count(dst, obs::Counter::kTransportDups, sched_->now());
     if (retx) send_ctrl(dst, m.src, TransportCtrl::Kind::kAck, 0);
     return;
   }
   r.buffer.insert(it, m);
   ++stats_.buffered;
+  if (obs_ != nullptr) {
+    obs_->count(dst, obs::Counter::kTransportBuffered, sched_->now());
+    obs_->reorder_depth(dst, r.buffer.size());
+  }
   // Re-NACK spacing: exponential per stalled frontier, and never shorter
   // than the current pipeline backlog — the requested retransmission has
   // to work its way through the same queues, and re-NACKing into a loaded
@@ -183,6 +192,7 @@ void Transport::handle_ctrl(const net::Message& m, net::ProcessId dst) {
     if (sched_->now() - e.last_tx < guard) continue;
     retransmit(m.src, e);
     ++stats_.retx_nack;
+    if (obs_ != nullptr) obs_->count(dst, obs::Counter::kTransportRetxNack, sched_->now());
   }
 }
 
@@ -251,6 +261,7 @@ void Transport::on_timer(net::ProcessId a, net::ProcessId b) {
   if (sched_->now() - e.last_tx >= cfg_.min_retx_spacing_ms) {
     retransmit(b, e);
     ++stats_.retx_timer;
+    if (obs_ != nullptr) obs_->count(a, obs::Counter::kTransportRetxTimer, sched_->now());
   }
   s.rto = std::min(std::max(s.rto, cfg_.rto_ms) * cfg_.backoff, cfg_.max_rto_ms);
   arm_timer(a, b, s);
@@ -261,6 +272,11 @@ void Transport::retransmit(net::ProcessId b, RingEntry& e) {
   f.frame.seq |= net::FrameHeader::kRetxBit;
   e.last_tx = sched_->now();
   ++stats_.retransmits;
+  // Attribute the retransmission to the frame's *original sender* — the
+  // node whose outbound channel needed recovery.  This per-origin tally
+  // is what exposes the GM sequencer as a retransmission hotspot.
+  ++retx_by_src_[static_cast<std::size_t>(e.msg.src)];
+  if (obs_ != nullptr) obs_->on_retransmit(e.msg.src, sched_->now());
   net_->submit(f, &b, 1, /*loopback_self=*/false);
 }
 
@@ -268,10 +284,12 @@ void Transport::send_ctrl(net::ProcessId from, net::ProcessId to, TransportCtrl:
                           std::uint32_t hi) {
   const std::uint32_t ack = recv_[idx(to, from)].expected - 1;
   const TransportCtrl* c = arena_->make<TransportCtrl>(kind, ack, hi);
-  if (kind == TransportCtrl::Kind::kNack)
+  if (kind == TransportCtrl::Kind::kNack) {
     ++stats_.nacks;
-  else
+    if (obs_ != nullptr) obs_->count(from, obs::Counter::kTransportNacks, sched_->now());
+  } else {
     ++stats_.acks;
+  }
   net::Message m{from, to, net::ProtocolId::kTransport, c, {}};
   net_->submit(m, &to, 1, /*loopback_self=*/false);
 }

@@ -61,6 +61,10 @@
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
+namespace fdgm::obs {
+class Observer;
+}  // namespace fdgm::obs
+
 namespace fdgm::transport {
 
 struct Config {
@@ -168,6 +172,16 @@ class Transport final : public net::Network::FrameStage {
   /// Next expected sequence number of the receiving side of a -> b.
   [[nodiscard]] std::uint32_t expected_seq(net::ProcessId a, net::ProcessId b) const;
 
+  /// Retransmissions whose original *sender* is p (always tracked; feeds
+  /// the sequencer-concentration metric of the lossy scenarios).
+  [[nodiscard]] std::uint64_t retx_from(net::ProcessId p) const {
+    return retx_by_src_.at(static_cast<std::size_t>(p));
+  }
+
+  /// Attach the observability layer (null = disarmed; counting only,
+  /// never influences behavior).
+  void set_observer(obs::Observer* o) { obs_ = o; }
+
  private:
   /// Ring entry: the full frame (payload handle into the arena) plus its
   /// last transmission time (suppresses NACK-driven duplicates).
@@ -232,6 +246,8 @@ class Transport final : public net::Network::FrameStage {
   std::vector<SendState> send_;  ///< n*n, row = sender
   std::vector<RecvState> recv_;  ///< n*n, row = sender (channel direction)
   Stats stats_;
+  std::vector<std::uint64_t> retx_by_src_;  ///< per-origin retransmission tally
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace fdgm::transport

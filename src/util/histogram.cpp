@@ -34,6 +34,34 @@ double Histogram::bin_lo(std::size_t i) const {
   return lo_ + width * static_cast<double>(i);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample in the cumulative walk (0-based).
+  const double target = q * static_cast<double>(total_ - 1);
+  double cum = static_cast<double>(underflow_);
+  if (target < cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (c > 0.0 && target < cum + c) {
+      // Interpolate within the bucket: samples are assumed uniform on it.
+      const double frac = (target - cum + 0.5) / c;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cum += c;
+  }
+  return hi_;  // target falls in the saturated overflow bucket
+}
+
 double Histogram::bin_fraction(std::size_t i) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);

@@ -27,6 +27,17 @@ class Histogram {
   /// Fraction of samples in bucket i (0 if empty histogram).
   [[nodiscard]] double bin_fraction(std::size_t i) const;
 
+  /// Merge another histogram's counts into this one.  Requires identical
+  /// binning (same lo, hi, bin count); throws std::invalid_argument on a
+  /// mismatch — silently re-binning would fabricate data.
+  void merge(const Histogram& other);
+
+  /// q-quantile (0..1) estimated by linear interpolation inside the
+  /// owning bucket.  Underflow samples count as lo, overflow samples as
+  /// hi (the saturated ends carry no position information).  Returns 0
+  /// for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
   /// Simple ASCII rendering (one line per non-empty bucket).
   [[nodiscard]] std::string render(std::size_t width = 50) const;
 

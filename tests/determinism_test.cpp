@@ -42,7 +42,8 @@ struct HashSink final : abcast::DeliverSink {
 
 std::uint64_t delivery_hash(Algorithm algo,
                             sim::SchedulerBackend backend = sim::SchedulerBackend::kHeap,
-                            bool transport = false, bool batching = false) {
+                            bool transport = false, bool batching = false,
+                            bool observed = false) {
   SimConfig cfg;
   cfg.algorithm = algo;
   cfg.n = 5;
@@ -50,6 +51,7 @@ std::uint64_t delivery_hash(Algorithm algo,
   cfg.scheduler.backend = backend;
   cfg.transport.enabled = transport;
   cfg.batching.enabled = batching;
+  cfg.obs.enabled = observed;
   cfg.fd_params.detection_time = 30.0;
   cfg.fd_params.wrong_suspicions = true;
   cfg.fd_params.mistake_recurrence = 2000.0;
@@ -150,6 +152,52 @@ TEST(GoldenSeed, BatchingArmedWheelMatchesHeapGoldenFd) {
 
 TEST(GoldenSeed, BatchingArmedWheelMatchesHeapGoldenGm) {
   EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel, false, true),
+            kGoldenGmBatch);
+}
+
+// Observability armed: the observer is strictly passive — it never
+// schedules events and never draws from the RNG — so arming it must
+// reproduce the *same* golden constants (delivery sequence AND executed
+// event count), not merely a self-consistent one.  This is stronger than
+// "off is free": tracing a run cannot perturb it.  Checked across both
+// scheduler backends, with the transport armed, and with batching on.
+TEST(GoldenSeed, ObserverArmedMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kHeap, false, false, true),
+            kGoldenFd);
+}
+
+TEST(GoldenSeed, ObserverArmedMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kHeap, false, false, true),
+            kGoldenGm);
+}
+
+TEST(GoldenSeed, ObserverArmedWheelMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kWheel, false, false, true),
+            kGoldenFd);
+}
+
+TEST(GoldenSeed, ObserverArmedWheelMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kWheel, false, false, true),
+            kGoldenGm);
+}
+
+TEST(GoldenSeed, ObserverArmedWithTransportMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kHeap, true, false, true),
+            kGoldenFd);
+}
+
+TEST(GoldenSeed, ObserverArmedWithTransportMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kHeap, true, false, true),
+            kGoldenGm);
+}
+
+TEST(GoldenSeed, ObserverArmedBatchingGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kHeap, false, true, true),
+            kGoldenFdBatch);
+}
+
+TEST(GoldenSeed, ObserverArmedBatchingGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kHeap, false, true, true),
             kGoldenGmBatch);
 }
 

@@ -152,5 +152,79 @@ TEST(Histogram, RenderMentionsCounts) {
   EXPECT_NE(out.find('#'), std::string::npos);
 }
 
+TEST(Histogram, EmptyHistogramIsWellDefined) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(h.render().empty());  // one line per non-empty bucket: none
+}
+
+TEST(Histogram, SingleSampleQuantilesAllLandInItsBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.7);
+  // With one sample every quantile is that sample's bucket; linear
+  // interpolation puts it at the bucket midpoint.
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 3.0);
+    EXPECT_LT(h.quantile(q), 4.0);
+  }
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
+TEST(Histogram, OverflowBucketSaturatesAtHi) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(1e9);
+  EXPECT_EQ(h.overflow(), 100u);
+  EXPECT_EQ(h.count(), 100u);
+  // The saturated end carries no position information: every quantile
+  // reports the range bound, not the raw value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  for (int i = 0; i < 100; ++i) h.add(-1e9);
+  EXPECT_EQ(h.underflow(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);
+}
+
+TEST(Histogram, MergeSumsCountsAndSaturatedEnds) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  a.add(-1.0);
+  b.add(1.7);
+  b.add(8.2);
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+  EXPECT_EQ(a.bin_count(8), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Histogram, MergeRejectsDisjointOrMismatchedRanges) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram lo(10.0, 20.0, 10);   // disjoint range
+  Histogram bins(0.0, 10.0, 20);  // same range, different binning
+  EXPECT_THROW(a.merge(lo), std::invalid_argument);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  // A failed merge must not have partially applied.
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, QuantileInterpolatesAcrossBuckets) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  // Uniform fill: quantiles track the value range linearly.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
 }  // namespace
 }  // namespace fdgm::util
