@@ -10,6 +10,7 @@
 //
 // Results are bit-identical for every --jobs value (replica seeding and
 // row order do not depend on the worker count).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -93,8 +94,12 @@ void print_usage() {
       "                    heal @t; apartition p<i>,..->p<j>,.. @t heal @t;\n"
       "                    loss <rate> @t for <dur>; delay x<f> @t for <dur>;\n"
       "                    storm p<i>,.. @t for <dur>; see README)\n"
-      "  --backend B       scheduler backend: heap | wheel (default heap);\n"
-      "                    bit-identical results, different speed profiles\n"
+      "  --backend B       scheduler backend: heap | wheel | par (default\n"
+      "                    heap); bit-identical results, different speed\n"
+      "                    profiles (par = intra-run parallel rounds)\n"
+      "  --threads N       worker threads per simulation under --backend par\n"
+      "                    (default 0 = hardware threads; clamped so that\n"
+      "                    --jobs x --threads never oversubscribes)\n"
       "  --transport       arm the retransmission transport in every\n"
       "                    simulation (sequence-numbered per-pair channels\n"
       "                    that survive 'loss' faults; bit-identical to the\n"
@@ -220,10 +225,21 @@ bool parse_args(int argc, char** argv, Options& opt) {
         opt.scheduler.backend = sim::SchedulerBackend::kHeap;
       else if (std::strcmp(v, "wheel") == 0)
         opt.scheduler.backend = sim::SchedulerBackend::kWheel;
+      else if (std::strcmp(v, "par") == 0)
+        opt.scheduler.backend = sim::SchedulerBackend::kParallel;
       else {
-        std::cerr << "fdgm_bench: unknown backend '" << v << "' (heap|wheel)\n";
+        std::cerr << "fdgm_bench: unknown backend '" << v << "' (heap|wheel|par)\n";
         return false;
       }
+    } else if (a == "--threads") {
+      const char* v = need_value(i, a.c_str());
+      std::uint64_t n = 0;
+      if (!v) return false;
+      if (!parse_u64(v, n)) {
+        std::cerr << "fdgm_bench: --threads needs a number, got '" << v << "'\n";
+        return false;
+      }
+      opt.scheduler.threads = static_cast<int>(n);
     } else if (a == "--faults") {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
@@ -274,7 +290,8 @@ int run(const Options& opt) {
 
   std::vector<const Scenario*> selected;
   if (opt.all) {
-    for (const Scenario& s : registry.all()) selected.push_back(&s);
+    for (const Scenario& s : registry.all())
+      if (s.in_all) selected.push_back(&s);
   } else {
     for (const std::string& name : opt.scenarios) {
       const Scenario* s = registry.find(name);
@@ -353,6 +370,19 @@ int run(const Options& opt) {
     ctx.pool = pool.get();
   }
 
+  // --profile under --backend par: the per-simulation worker count the
+  // runs will resolve to (SimRun divides the hardware budget by the
+  // replica pool width so --jobs x --threads never oversubscribes).
+  const bool par = opt.scheduler.backend == sim::SchedulerBackend::kParallel;
+  std::size_t resolved_threads = 1;
+  if (par) {
+    const std::size_t hw = core::effective_jobs(0);
+    const std::size_t width = pool ? pool->workers() : 1;
+    resolved_threads = opt.scheduler.threads <= 0
+                           ? std::max<std::size_t>(1, hw / width)
+                           : static_cast<std::size_t>(opt.scheduler.threads);
+  }
+
   for (const Scenario* s : selected) {
     const std::uint64_t events0 = core::total_events_executed();
     const auto wall0 = std::chrono::steady_clock::now();
@@ -373,6 +403,27 @@ int run(const Options& opt) {
       table.add_column("Mev/s", util::Table::cell(
                                     static_cast<double>(events) / wall_s / 1e6, 2));
       table.add_column("peak RSS [MB]", util::Table::cell(peak_rss_mb(), 1));
+      table.add_column("threads", std::to_string(resolved_threads));
+      if (par) {
+        // Wall baseline: the same scenario, same budget/params, on the
+        // sequential heap backend.  The result tables are bit-identical
+        // (that is the kParallel contract); only the wall differs.
+        ScenarioContext heap_ctx = ctx;
+        heap_ctx.scheduler.backend = sim::SchedulerBackend::kHeap;
+        const auto h0 = std::chrono::steady_clock::now();
+        try {
+          (void)s->run(heap_ctx);
+        } catch (const std::exception& e) {
+          std::cerr << "fdgm_bench: heap baseline for '" << s->name << "' failed: " << e.what()
+                    << '\n';
+          std::exit(1);
+        }
+        const double heap_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - h0).count();
+        table.add_column("speedup vs heap", util::Table::cell(heap_s / wall_s, 2));
+      } else {
+        table.add_column("speedup vs heap", "-");
+      }
     }
     if (!opt.out_dir.empty()) {
       std::error_code ec;

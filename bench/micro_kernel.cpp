@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "fd/qos_model.hpp"
 #include "net/system.hpp"
 #include "obs/observer.hpp"
 #include "sim/rng.hpp"
@@ -543,6 +544,59 @@ void BM_AbcastScaleSecond128_wheel(benchmark::State& state) {
   abcast_scale_kernel(state, sim::SchedulerBackend::kWheel);
 }
 BENCHMARK(BM_AbcastScaleSecond128_wheel);
+
+void BM_AbcastScaleSecond128_par(benchmark::State& state) {
+  abcast_scale_kernel(state, sim::SchedulerBackend::kParallel);
+}
+BENCHMARK(BM_AbcastScaleSecond128_par);
+
+// QoS-model construction at n = 128: formerly an eager n^2 loop forking
+// one mt19937_64 per ordered pair (16256 engines, ~2500 state words
+// each) before the first event ran — quadratic setup that dominated
+// short large-n runs and was pure waste for the (default) silent pairs.
+// PairState is now lazy: construction sizes an engine-less vector, and a
+// pair materializes its fork (replaying its draw count, so streams are
+// bit-identical to the eager layout) only on its first mistake draw.
+// Items = one constructed model; compare against the eager-cost
+// reference kernel below.
+void BM_QosModelSetup128(benchmark::State& state) {
+  constexpr int kN = 128;
+  net::System sys(kN, net::NetworkConfig{}, 7);
+  fd::QosParams params;
+  params.detection_time = 30.0;
+  params.wrong_suspicions = true;
+  params.mistake_recurrence = 128.0 * 127.0 * 5000.0;
+  params.mistake_duration = 50.0;
+  std::int64_t models = 0;
+  for (auto _ : state) {
+    fd::QosFailureDetectorModel model(sys, params);
+    benchmark::DoNotOptimize(&model);
+    ++models;
+  }
+  state.SetItemsProcessed(models);
+}
+BENCHMARK(BM_QosModelSetup128);
+
+// Reference: the eager cost BM_QosModelSetup128 no longer pays — n(n-1) =
+// 16256 independent mt19937_64 forks, exactly the per-pair seeding the
+// old constructor performed.  The lazy model amortizes this across the
+// run (and skips it entirely for pairs that never draw).
+void BM_RngForkPerPair128(benchmark::State& state) {
+  const sim::Rng base(20260808);
+  constexpr int kPairs = 128 * 127;
+  std::int64_t forks = 0;
+  for (auto _ : state) {
+    std::uint64_t mixed = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      sim::Rng engine = base.fork(static_cast<std::uint64_t>(i));
+      mixed ^= engine.next_u64();
+    }
+    benchmark::DoNotOptimize(mixed);
+    forks += kPairs;
+  }
+  state.SetItemsProcessed(forks);
+}
+BENCHMARK(BM_RngForkPerPair128);
 
 }  // namespace
 

@@ -138,6 +138,10 @@ struct Scenario {
   std::function<util::Table(const ScenarioContext&)> run;
   /// Accepted `--set` keys (beyond the driver-level quick/replicas/samples).
   std::vector<ParamSpec> params;
+  /// False: the scenario's output is wall-clock-dependent (timing studies
+  /// like pdes_speedup), so `--all` skips it — it only runs when named
+  /// explicitly.  Keeps `--all --out results/` regenerable byte-for-byte.
+  bool in_all = true;
 };
 
 class ScenarioRegistry {

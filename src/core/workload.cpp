@@ -17,10 +17,10 @@ Workload::Workload(net::System& sys, std::vector<abcast::AtomicBroadcastProcess*
   per_process_mean_gap_ms_ = 1.0 / per_process_rate_per_ms;
   sim::Rng base = sys.rng().fork("workload");
   for (std::size_t i = 0; i < procs_.size(); ++i) rngs_.push_back(base.fork(i));
-  chain_alive_.assign(procs_.size(), false);
+  chain_alive_.assign(procs_.size(), 0);
   sys.add_recovery_listener([this](net::ProcessId p, sim::Time) {
     const auto idx = static_cast<std::size_t>(p);
-    if (started_ && !stopped_ && !chain_alive_[idx]) schedule_next(idx);
+    if (started_ && !stopped_ && chain_alive_[idx] == 0) schedule_next(idx);
   });
 }
 
@@ -31,19 +31,26 @@ void Workload::start() {
 }
 
 void Workload::schedule_next(std::size_t idx) {
-  chain_alive_[idx] = true;
+  chain_alive_[idx] = 1;
   const double gap = rngs_[idx].exponential(per_process_mean_gap_ms_);
-  sys_->scheduler().schedule_after(gap, [this, idx] {
+  // Each arrival chain belongs to its process's partition (the tick only
+  // touches per-process state: its RNG, its endpoint, its chain flag) —
+  // except with batching on, where the submission path mutates the
+  // endpoint's queue and flush timer, which the delivery side also
+  // touches; those chains run on the serial shared partition.
+  const int owner =
+      procs_[idx]->batching().enabled ? sim::kOwnerShared : static_cast<int>(idx);
+  sys_->scheduler().schedule_after_owned(owner, gap, [this, idx] {
     if (stopped_) return;
     auto pid = static_cast<net::ProcessId>(idx);
     if (sys_->node(pid).crashed()) {
       // The chain dies with the process; a recovery restarts it.
-      chain_alive_[idx] = false;
+      chain_alive_[idx] = 0;
       return;
     }
     if (!procs_[idx]->can_submit()) {
       // Back-pressure: shed this arrival, keep the chain running.
-      ++shed_;
+      shed_.fetch_add(1, std::memory_order_relaxed);
       if (auto* o = sys_->obs())
         o->count(static_cast<int>(idx), obs::Counter::kCreditSheds, sys_->now());
       schedule_next(idx);
@@ -51,7 +58,7 @@ void Workload::schedule_next(std::size_t idx) {
     }
     const abcast::MsgId id = procs_[idx]->a_broadcast();
     recorder_->on_broadcast(id, sys_->now());
-    ++generated_;
+    generated_.fetch_add(1, std::memory_order_relaxed);
     schedule_next(idx);
   });
 }

@@ -7,7 +7,7 @@
 namespace fdgm::fd {
 
 QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams params)
-    : sys_(&sys), params_(params) {
+    : sys_(&sys), params_(params), base_(sys.rng().fork("fd-qos-model")) {
   if (params_.detection_time < 0)
     throw std::invalid_argument("QosFailureDetectorModel: negative TD");
   if (params_.wrong_suspicions && params_.mistake_recurrence <= 0)
@@ -19,15 +19,9 @@ QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams par
   fds_.reserve(static_cast<std::size_t>(n));
   for (int q = 0; q < n; ++q) fds_.push_back(std::make_unique<FailureDetector>(q, n));
 
-  pairs_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-  sim::Rng base = sys.rng().fork("fd-qos-model");
-  for (int q = 0; q < n; ++q)
-    for (int p = 0; p < n; ++p)
-      // emplace + move: a PairState carries a full RNG engine state, and
-      // n^2 of them are built here — the aggregate-copy form constructed
-      // every engine twice.
-      pairs_.emplace_back(base.fork(static_cast<std::uint64_t>(q) * static_cast<std::uint64_t>(n) +
-                                    static_cast<std::uint64_t>(p)));
+  // Pair engines are forked lazily on first draw (see pair_draw): eagerly
+  // seeding n^2 mt19937_64 engines dominated setup at large n.
+  pairs_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
 
   sys.add_crash_listener([this](net::ProcessId p, sim::Time t) { on_crash(p, t); });
   sys.add_recovery_listener([this](net::ProcessId p, sim::Time t) { on_recover(p, t); });
@@ -39,10 +33,37 @@ QosFailureDetectorModel::PairState& QosFailureDetectorModel::pair(net::ProcessId
                    static_cast<std::size_t>(p));
 }
 
+double QosFailureDetectorModel::pair_draw(PairState& st, net::ProcessId q, net::ProcessId p,
+                                          double mean) {
+  // Mirrors Rng::exponential's mean <= 0 contract, which consumes no
+  // engine state — so `draws` counts exactly the consuming draws.
+  if (mean <= 0.0) return 0.0;
+  if (st.engine == nullptr) {
+    const std::uint64_t tag = static_cast<std::uint64_t>(q) *
+                                  static_cast<std::uint64_t>(sys_->n()) +
+                              static_cast<std::uint64_t>(p);
+    if (st.draws == 0) {
+      // First draw: a stack-local engine avoids persisting state for the
+      // (common) pairs that only ever draw once.
+      sim::Rng tmp = base_.fork(tag);
+      st.draws = 1;
+      return tmp.exponential(mean);
+    }
+    // Second draw: persist the engine and replay the consumed prefix.
+    // exponential_distribution's engine consumption is independent of the
+    // mean, so replaying with mean 1 reproduces the stream position.
+    st.engine = std::make_unique<sim::Rng>(base_.fork(tag));
+    for (std::uint32_t i = 0; i < st.draws; ++i) (void)st.engine->exponential(1.0);
+  }
+  return st.engine->exponential(mean);
+}
+
 void QosFailureDetectorModel::on_crash(net::ProcessId p, sim::Time when) {
   for (net::ProcessId q : sys_->all()) {
     if (q == p) continue;
-    sys_->scheduler().schedule_at(when + params_.detection_time, [this, q, p] {
+    // Owned by the monitor q: the detection event only touches q's pair
+    // row and q's module, so it runs on q's partition under kParallel.
+    sys_->scheduler().schedule_at_owned(q, when + params_.detection_time, [this, q, p] {
       PairState& st = pair(q, p);
       // Monitors observe p's state with lag TD: the heartbeat gap of the
       // crash is seen even when p restarted in the meantime.  A still-dead
@@ -68,7 +89,8 @@ void QosFailureDetectorModel::on_recover(net::ProcessId p, sim::Time when) {
     PairState& st = pair(q, p);
     if (st.suspect_until < when + params_.detection_time)
       st.suspect_until = when + params_.detection_time;
-    sys_->scheduler().schedule_at(when + params_.detection_time, [this, q, p, incarnation] {
+    sys_->scheduler().schedule_at_owned(q, when + params_.detection_time,
+                                        [this, q, p, incarnation] {
       // Re-crashed (or restarted again) in the meantime: this detection is
       // void; the newer crash/recovery drives the pair's state.
       if (sys_->node(p).crashed() || sys_->node(p).incarnation() != incarnation) return;
@@ -122,7 +144,7 @@ void QosFailureDetectorModel::schedule_release(net::ProcessId q, net::ProcessId 
   // End of a mistake / storm window.  Overlapping windows keep the pair
   // suspected: the trust event only fires when no later window extended
   // the suspicion.
-  sys_->scheduler().schedule_at(until, [this, q, p, until] {
+  sys_->scheduler().schedule_at_owned(q, until, [this, q, p, until] {
     PairState& st = pair(q, p);
     if (st.crashed_permanent) return;
     if (until < st.suspect_until) return;  // a later window extended it
@@ -132,9 +154,9 @@ void QosFailureDetectorModel::schedule_release(net::ProcessId q, net::ProcessId 
 
 void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::ProcessId p,
                                                     sim::Time from) {
-  const double gap = pair(q, p).rng.exponential(params_.mistake_recurrence);
+  const double gap = pair_draw(pair(q, p), q, p, params_.mistake_recurrence);
   const std::uint64_t epoch = pair(q, p).epoch;
-  sys_->scheduler().schedule_at(from + gap, [this, q, p, epoch] {
+  sys_->scheduler().schedule_at_owned(q, from + gap, [this, q, p, epoch] {
     PairState& st = pair(q, p);
     // A stale chain (the pair was reset by a crash or recovery) dies; so
     // does the chain of a permanently suspected (crashed) target or of a
@@ -143,7 +165,7 @@ void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::Proce
     if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
 
     const sim::Time start = sys_->now();
-    const double duration = st.rng.exponential(params_.mistake_duration);
+    const double duration = pair_draw(st, q, p, params_.mistake_duration);
     if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, start);
     at(q).set_suspected(p, true);
 

@@ -53,12 +53,19 @@ class QosFailureDetectorModel {
   void inject_suspicion(net::ProcessId q, net::ProcessId p, sim::Time until);
 
  private:
+  /// Per ordered pair (q monitors p).  The pair's RNG engine is lazy:
+  /// constructing n^2 mt19937_64 engines up front dominated setup time at
+  /// large n (~40% of a quick n=128 run), yet most pairs draw zero or one
+  /// variate (none at all when wrong_suspicions is off).  pair_draw forks
+  /// the engine from base_ with the pair's original tag on first use —
+  /// the streams are bit-identical to the eager layout — and only
+  /// persists it on the second draw (a one-shot draw uses a stack-local
+  /// engine and just counts the consumption for a later replay).
   struct PairState {
-    explicit PairState(sim::Rng r) : rng(std::move(r)) {}
-
-    sim::Rng rng;
-    bool crashed_permanent = false;  // p crashed; suspicion is final
-    sim::Time suspect_until = 0.0;   // end of the latest mistake window
+    std::unique_ptr<sim::Rng> engine;  // null until the second draw
+    std::uint32_t draws = 0;           // variates consumed pre-persist
+    bool crashed_permanent = false;    // p crashed; suspicion is final
+    sim::Time suspect_until = 0.0;     // end of the latest mistake window
     /// Generation of the renewal chain: a pending next-mistake callback
     /// whose epoch is stale (the pair was reset by a crash/recovery)
     /// dies silently, so restarts never double the mistake rate.
@@ -72,9 +79,14 @@ class QosFailureDetectorModel {
   /// (Re)start the renewal chain of (q, p) from `from`.
   void restart_renewal(net::ProcessId q, net::ProcessId p, sim::Time from);
   PairState& pair(net::ProcessId q, net::ProcessId p);
+  /// Exponential variate from (q, p)'s lazily materialized sub-stream.
+  double pair_draw(PairState& st, net::ProcessId q, net::ProcessId p, double mean);
 
   net::System* sys_;
   QosParams params_;
+  /// Parent stream the per-pair engines fork from (fork is const — safe
+  /// from concurrent partition workers under the parallel backend).
+  sim::Rng base_;
   std::vector<std::unique_ptr<FailureDetector>> fds_;
   std::vector<PairState> pairs_;  // n*n, row = monitor q, col = target p
   bool started_ = false;

@@ -1,8 +1,11 @@
 #include "net/network.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "sim/exec_ctx.hpp"
 
 namespace fdgm::net {
 
@@ -12,24 +15,42 @@ Network::Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, Si
   if (cfg_.lambda < 0) throw std::invalid_argument("Network: negative lambda");
   if (cfg_.network_time <= 0) throw std::invalid_argument("Network: network_time must be > 0");
   cpus_.reserve(static_cast<std::size_t>(num_processes));
-  for (int i = 0; i < num_processes; ++i)
+  for (int i = 0; i < num_processes; ++i) {
     cpus_.push_back(std::make_unique<Resource>(sched, "cpu" + std::to_string(i)));
+    // A host CPU's completions belong to its process: under the parallel
+    // backend they execute on that partition's worker.  Ignored (shared
+    // behavior) by the sequential backends.  The wire keeps the default
+    // shared owner — its completions are serial.
+    cpus_.back()->set_owner(i);
+  }
 }
 
 std::uint32_t Network::acquire_list() {
-  if (free_list_head_ != kNoList) {
-    const std::uint32_t idx = free_list_head_;
-    free_list_head_ = lists_[idx].next_free;
-    lists_[idx].dsts.clear();
+  // Workers draw from their own partition's pool (see set_list_pools);
+  // serial contexts use pool 0.
+  const sim::ExecCtx* c = sim::exec_ctx();
+  std::uint32_t pool = 0;
+  if (c != nullptr && c->sched == sched_ && c->owner >= 0) {
+    const auto idx = static_cast<std::uint32_t>(c->owner + 1);
+    if (idx < list_pools_.size()) pool = idx;
+    assert(!c->staging || idx < list_pools_.size());
+  }
+  ListPool& lp = list_pools_[pool];
+  if (lp.free_head != kNoList) {
+    const std::uint32_t idx = lp.free_head;
+    DstList& l = lp.lists[idx & kLocalListMask];
+    lp.free_head = l.next_free;
+    l.dsts.clear();
     return idx;
   }
-  lists_.emplace_back();
-  return static_cast<std::uint32_t>(lists_.size() - 1);
+  lp.lists.emplace_back();
+  return (pool << kPoolShift) | static_cast<std::uint32_t>(lp.lists.size() - 1);
 }
 
 void Network::release_list(std::uint32_t idx) {
-  lists_[idx].next_free = free_list_head_;
-  free_list_head_ = idx;
+  ListPool& lp = list_pools_[idx >> kPoolShift];
+  list_ref(idx).next_free = lp.free_head;
+  lp.free_head = idx;
 }
 
 bool Network::submit(const Message& m, const ProcessId* dsts, std::size_t count,
@@ -48,7 +69,7 @@ bool Network::submit(const Message& m, const ProcessId* dsts, std::size_t count,
       continue;
     }
     if (list == kNoList) list = acquire_list();
-    lists_[list].dsts.push_back(d);
+    list_ref(list).dsts.push_back(d);
   }
   if (!self && list == kNoList) return false;  // no effective destination
 
@@ -63,8 +84,8 @@ void Network::on_send_done(const Message& m, std::uint32_t list, bool self) {
     // Local loopback: no network, no extra CPU job.
     Message copy = m;
     copy.dst = m.src;
-    ++delivered_;
-    if (tap_) tap_(copy, m.src);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (tap_ && !sim::stage_effect<&Network::invoke_tap>(this, copy, m.src)) tap_(copy, m.src);
     sink_->deliver_message(copy, m.src);
   }
   if (list != kNoList) {
@@ -81,7 +102,7 @@ void Network::on_wire_done(const Message& m, std::uint32_t list) {
   // The transport's frame stage stamps a per-destination copy first (the
   // sequence number lives in the ordered-pair channel, so it cannot be
   // shared across the fan-out).
-  for (ProcessId d : lists_[list].dsts) {
+  for (ProcessId d : list_ref(list).dsts) {
     if (frame_stage_ != nullptr) {
       Message f = m;
       frame_stage_->stamp_frame(f, d);
@@ -112,14 +133,19 @@ void Network::filter_or_deliver(const Message& m, ProcessId d) {
 }
 
 void Network::deliver_via_cpu(const Message& m, ProcessId d) {
-  cpus_[static_cast<std::size_t>(d)]->enqueue(cfg_.lambda,
-                                              [this, m, d] { finish_delivery(m, d); });
+  // Once lossy-transport operation has been latched, receive completions
+  // execute on the serial shared partition (the transport's receive path
+  // mutates per-pair channel state and emits control frames); otherwise
+  // they run on the destination's own partition.
+  Resource& cpu = *cpus_[static_cast<std::size_t>(d)];
+  cpu.enqueue_as(serialize_deliveries_ ? sim::kOwnerShared : d, cfg_.lambda,
+                 [this, m, d] { finish_delivery(m, d); });
 }
 
 void Network::finish_delivery(Message m, ProcessId d) {
   m.dst = d;
-  ++delivered_;
-  if (tap_) tap_(m, d);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (tap_ && !sim::stage_effect<&Network::invoke_tap>(this, m, d)) tap_(m, d);
   sink_->deliver_message(m, d);
 }
 
@@ -192,6 +218,7 @@ void Network::set_loss(double rate, sim::Rng* rng) {
   if (rate < 0.0 || rate > 1.0) throw std::invalid_argument("Network::set_loss: bad rate");
   loss_rate_ = rate;
   loss_rng_ = rate > 0.0 ? rng : nullptr;
+  if (loss_active() && frame_stage_ != nullptr) serialize_deliveries_ = true;
 }
 
 void Network::set_delay_factor(double factor) {

@@ -1,5 +1,7 @@
 #include "obs/observer.hpp"
 
+#include "sim/exec_ctx.hpp"
+
 #include <cmath>
 #include <filesystem>
 #include <iomanip>
@@ -84,7 +86,14 @@ Span* Observer::find(int origin, std::uint64_t seq) {
   return nullptr;
 }
 
+// Every hot-path hook defers itself to the round barrier when invoked
+// from a parallel-backend staging worker (the Observer is process-global
+// state): the replay re-enters the same public method with a null
+// execution context and runs the body, in exact global event order — so
+// an armed parallel run records byte-identical traces and counters.
+
 void Observer::on_submit(int origin, std::uint64_t seq, double now) {
+  if (sim::stage_effect<&Observer::on_submit>(this, origin, seq, now)) return;
   if (now >= next_window_) roll_window(now);
   if (origin < 0 || origin >= n_ || seq == 0) return;
   auto& slab = spans_[static_cast<std::size_t>(origin)];
@@ -104,16 +113,19 @@ void Observer::on_submit(int origin, std::uint64_t seq, double now) {
 }
 
 void Observer::on_order_start(int origin, std::uint64_t seq, double now) {
+  if (sim::stage_effect<&Observer::on_order_start>(this, origin, seq, now)) return;
   if (now >= next_window_) roll_window(now);
   if (Span* s = find(origin, seq); s && s->order_start < 0.0) s->order_start = now;
 }
 
 void Observer::on_ordered(int origin, std::uint64_t seq, double now) {
+  if (sim::stage_effect<&Observer::on_ordered>(this, origin, seq, now)) return;
   if (now >= next_window_) roll_window(now);
   if (Span* s = find(origin, seq); s && s->ordered < 0.0) s->ordered = now;
 }
 
 void Observer::on_delivered(int origin, std::uint64_t seq, double now) {
+  if (sim::stage_effect<&Observer::on_delivered>(this, origin, seq, now)) return;
   if (now >= next_window_) roll_window(now);
   Span* s = find(origin, seq);
   if (s == nullptr || s->delivered >= 0.0) return;
@@ -131,6 +143,7 @@ void Observer::on_delivered(int origin, std::uint64_t seq, double now) {
 // ----------------------------------------------------------- counters/gauges
 
 void Observer::count(int node, Counter c, double now, std::uint64_t delta) {
+  if (sim::stage_effect<&Observer::count>(this, node, c, now, delta)) return;
   if (now >= next_window_) roll_window(now);
   if (node < 0 || node >= n_) return;
   counters_[static_cast<std::size_t>(node) * kCounterCount + static_cast<std::size_t>(c)] +=
@@ -138,16 +151,19 @@ void Observer::count(int node, Counter c, double now, std::uint64_t delta) {
 }
 
 void Observer::on_retransmit(int origin, double now) {
+  if (sim::stage_effect<&Observer::on_retransmit>(this, origin, now)) return;
   count(origin, Counter::kTransportRetx, now);
   if (origin >= 0 && origin < n_) ++retx_origin_[static_cast<std::size_t>(origin)];
 }
 
 void Observer::on_batch_flush(int node, std::size_t batch_size, double now) {
+  if (sim::stage_effect<&Observer::on_batch_flush>(this, node, batch_size, now)) return;
   count(node, Counter::kBatchesFlushed, now);
   batch_hist_.add(static_cast<double>(batch_size));
 }
 
 void Observer::reorder_depth(int node, std::size_t depth) {
+  if (sim::stage_effect<&Observer::reorder_depth>(this, node, depth)) return;
   if (node < 0 || node >= n_) return;
   auto& peak = reorder_peak_[static_cast<std::size_t>(node)];
   if (depth > peak) peak = depth;

@@ -1,0 +1,154 @@
+// Execution context of the parallel scheduler backend (kParallel).
+//
+// Under conservative windowed rounds, node-partition events execute on
+// worker threads.  A worker must not mutate state outside its own
+// partition; instead it *stages* cross-partition operations (schedules
+// targeting the shared partition, shared-resource jobs, cancellations of
+// shared-partition timers, and side effects on process-global objects
+// such as the Observer or the latency recorder).  Staged operations are
+// replayed serially at the round barrier in exact global (time, seq)
+// order, which is how the parallel backend reproduces the sequential
+// backends' behavior bit for bit.
+//
+// The thread-local ExecCtx pointer tells scheduler-aware code which mode
+// it runs in:
+//   * null           — serial context (sequential backends, the parallel
+//                      coordinator between rounds, barrier replay, or any
+//                      call outside event execution);
+//   * staging        — a worker executing one partition's sub-window;
+//   * direct (!staging) — the coordinator executing an event serially
+//                      under kParallel (shared events, or single-partition
+//                      rounds that skip the staging machinery).
+//
+// Components outside src/sim observe only two things: the inherited
+// owner of the currently executing event (Scheduler::schedule_at tags new
+// events with it) and stage_effect(), which defers a side-effect method
+// call to the barrier when — and only when — a staging worker is running.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+#include <type_traits>
+
+#include "sim/time.hpp"
+
+namespace fdgm::sim {
+
+/// Owner tag of events not tied to one process: they execute serially on
+/// the coordinator (the "shared partition").  This is the default owner
+/// of everything scheduled from a serial context.
+inline constexpr int kOwnerShared = -1;
+
+class Scheduler;
+
+struct ExecCtx {
+  Scheduler* sched = nullptr;
+  /// Simulated time of the event being executed (Scheduler::now()).
+  Time now = 0.0;
+  /// Owner of the executing event: a process id, or kOwnerShared.
+  int owner = kOwnerShared;
+  /// True on a staging worker; false in the coordinator's direct mode.
+  bool staging = false;
+  /// The worker's Partition (opaque outside the scheduler).
+  void* part = nullptr;
+};
+
+namespace detail {
+inline thread_local ExecCtx* t_exec_ctx = nullptr;
+}  // namespace detail
+
+[[nodiscard]] inline ExecCtx* exec_ctx() { return detail::t_exec_ctx; }
+
+/// Maximum POD argument bytes of a staged effect.
+inline constexpr std::size_t kMaxEffectArgBytes = 40;
+
+using EffectFn = void (*)(void* obj, const void* args);
+
+/// Appends an effect op to the current staging worker's op list (defined
+/// in scheduler.cpp).  Pre: exec_ctx() != null && exec_ctx()->staging.
+void stage_effect_raw(EffectFn fn, void* obj, const void* args, std::size_t size);
+
+namespace detail {
+// Trivially copyable argument pack (std::tuple is not trivially copyable
+// in common standard libraries), memcpy'd through the staging buffer.
+template <typename... Args>
+struct ArgPack;
+template <>
+struct ArgPack<> {
+  template <auto M, typename Obj>
+  void invoke(Obj* o) const {
+    (o->*M)();
+  }
+};
+template <typename A0>
+struct ArgPack<A0> {
+  A0 a0;
+  template <auto M, typename Obj>
+  void invoke(Obj* o) const {
+    (o->*M)(a0);
+  }
+};
+template <typename A0, typename A1>
+struct ArgPack<A0, A1> {
+  A0 a0;
+  A1 a1;
+  template <auto M, typename Obj>
+  void invoke(Obj* o) const {
+    (o->*M)(a0, a1);
+  }
+};
+template <typename A0, typename A1, typename A2>
+struct ArgPack<A0, A1, A2> {
+  A0 a0;
+  A1 a1;
+  A2 a2;
+  template <auto M, typename Obj>
+  void invoke(Obj* o) const {
+    (o->*M)(a0, a1, a2);
+  }
+};
+template <typename A0, typename A1, typename A2, typename A3>
+struct ArgPack<A0, A1, A2, A3> {
+  A0 a0;
+  A1 a1;
+  A2 a2;
+  A3 a3;
+  template <auto M, typename Obj>
+  void invoke(Obj* o) const {
+    (o->*M)(a0, a1, a2, a3);
+  }
+};
+
+template <auto Method, typename Obj, typename Pack>
+void effect_thunk(void* obj, const void* args) {
+  Pack p{};
+  std::memcpy(&p, args, sizeof(Pack));
+  p.template invoke<Method>(static_cast<Obj*>(obj));
+}
+}  // namespace detail
+
+/// Defer `(obj->*Method)(args...)` to the round barrier, where it replays
+/// in global event order, iff a staging worker is executing.  Returns
+/// false (caller runs the body inline) in every serial context, so
+/// sequential backends pay one thread-local load and a branch.
+///
+/// Args must be trivially copyable and small (kMaxEffectArgBytes); the
+/// replay re-invokes the *public* method, which must therefore detect the
+/// serial context and run its body (it will: replay runs with a null
+/// ExecCtx).
+template <auto Method, typename Obj, typename... Args>
+[[nodiscard]] bool stage_effect(Obj* obj, Args... args) {
+  const ExecCtx* c = exec_ctx();
+  if (c == nullptr || !c->staging) return false;
+  using Pack = detail::ArgPack<std::decay_t<Args>...>;
+  static_assert(std::is_trivially_copyable_v<Pack>,
+                "staged effect arguments must be trivially copyable");
+  static_assert(sizeof(Pack) <= kMaxEffectArgBytes, "staged effect arguments too large");
+  const Pack pack{args...};
+  stage_effect_raw(&detail::effect_thunk<Method, Obj, Pack>, obj, &pack, sizeof(Pack));
+  return true;
+}
+
+}  // namespace fdgm::sim

@@ -1,11 +1,11 @@
 // Discrete-event scheduler.
 //
-// Single-threaded, deterministic: events at equal timestamps execute in
-// insertion order (FIFO), which makes every simulation reproducible given
-// the same seed.
+// Deterministic: events at equal timestamps execute in insertion order
+// (FIFO), which makes every simulation reproducible given the same seed.
 //
-// Two interchangeable pending-queue backends produce bit-identical event
-// orders (every pop returns the globally smallest (time, seq) record):
+// Three interchangeable pending-queue backends produce bit-identical
+// event orders (every pop returns the globally smallest (time, seq)
+// record):
 //
 //  * kHeap — a 4-ary min-heap of POD records over one reusable vector;
 //    O(log m) per schedule/fire.  The right choice for small event
@@ -20,8 +20,27 @@
 //    FIFO order of the heap backend.  The right choice for the large-n
 //    runs, where the failure-detector layer keeps O(n^2) short-horizon
 //    timers alive at once.
+//  * kParallel — conservative windowed PDES across a worker pool.
+//    Events are partitioned by owning process (plus one shared partition
+//    for process-global events: the wire, injected faults, anything
+//    scheduled from a serial context); each partition is a 4-ary heap
+//    with its own callback slab.  The coordinator repeatedly picks the
+//    globally earliest event; when several node partitions have events
+//    inside the safe horizon — bounded by the earliest shared event, by
+//    now + lookahead (the minimum cross-partition latency installed via
+//    set_lookahead), and by the run_until limit — it runs one *round*:
+//    workers execute their partitions' sub-horizon events concurrently,
+//    giving events scheduled into their own partition provisional FIFO
+//    seqs so intra-partition chains execute in-pass, and staging every
+//    cross-partition operation (shared schedules, shared-resource jobs,
+//    shared-timer cancels, external side effects).  The round barrier
+//    then replays the per-partition execution logs in exact global
+//    (time, seq) order, assigning the real FIFO seqs in the order the
+//    sequential backends would have and patching the provisional ones,
+//    so the observable firing order, every RNG draw, and the executed
+//    event count are identical to kHeap/kWheel for any thread count.
 //
-// The event core is allocation-free in steady state with both backends:
+// The event core is allocation-free in steady state with all backends:
 //  * heap records are POD in reusable vectors (wheel buckets retain their
 //    capacity across laps, like the heap's backing vector);
 //  * callbacks live in a slab of fixed slots with inline small-buffer
@@ -34,6 +53,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -45,6 +65,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/exec_ctx.hpp"
 #include "sim/time.hpp"
 
 namespace fdgm::sim {
@@ -53,9 +74,9 @@ namespace fdgm::sim {
 /// Encodes (slot generation << 32 | slot index); 0 is never returned.
 using EventId = std::uint64_t;
 
-/// Pending-queue implementation; see the file comment.  Both backends
+/// Pending-queue implementation; see the file comment.  All backends
 /// produce bit-identical event orders.
-enum class SchedulerBackend : std::uint8_t { kHeap, kWheel };
+enum class SchedulerBackend : std::uint8_t { kHeap, kWheel, kParallel };
 
 [[nodiscard]] const char* scheduler_backend_name(SchedulerBackend b);
 
@@ -68,6 +89,12 @@ struct SchedulerConfig {
   /// handful of events while the 3x8-bit hierarchy still spans ~17
   /// simulated minutes before overflow.
   double wheel_tick_ms = 1.0 / 16.0;
+  /// kParallel only: size of the worker pool, the coordinator thread
+  /// included (so `1` runs rounds on the caller alone — still through
+  /// the staging machinery, which is what the determinism tests
+  /// exercise).  0 = one worker per hardware thread.  Results never
+  /// depend on this value, only wall-clock time does.
+  int threads = 0;
 };
 
 class Scheduler {
@@ -80,6 +107,10 @@ class Scheduler {
   /// max_align_t) are stored inline in the slab — no heap allocation.
   static constexpr std::size_t kInlineCallbackBytes = 48;
 
+  /// Applies one resource job to a resource object at time `at` and
+  /// returns the completion time (see resource_enqueue).
+  using ResourceCommitFn = Time (*)(void* resource, Time at, double service);
+
   Scheduler() : Scheduler(SchedulerConfig{}) {}
   explicit Scheduler(const SchedulerConfig& cfg);
   Scheduler(const Scheduler&) = delete;
@@ -88,33 +119,147 @@ class Scheduler {
 
   [[nodiscard]] SchedulerBackend backend() const { return cfg_.backend; }
 
-  /// Current simulated time.  Starts at kTimeZero.
-  [[nodiscard]] Time now() const { return now_; }
+  /// Current simulated time.  Starts at kTimeZero.  During event
+  /// execution under kParallel this is the executing event's timestamp
+  /// regardless of which thread asks.
+  [[nodiscard]] Time now() const {
+    const ExecCtx* c = exec_ctx();
+    if (c != nullptr && c->sched == this) return c->now;
+    return now_;
+  }
 
-  /// Schedule `f` at absolute time `t`.  `t` must be >= now().
+  // ---------------------------------------------------------- partitions
+
+  /// kParallel: declare the owner space (owners 0..n-1 each get a
+  /// partition; kOwnerShared events stay in the shared partition 0).
+  /// Must be called before anything is scheduled.  No-op for the
+  /// sequential backends, which keep everything in partition 0.
+  void set_partitions(int owners);
+
+  [[nodiscard]] int partitions() const { return static_cast<int>(parts_.size()); }
+
+  /// kParallel: install the conservative lookahead — the minimum
+  /// simulated latency of any cross-partition interaction (the
+  /// contention model's minimum wire latency).  Polled once per round;
+  /// a missing or non-positive lookahead degrades to serial stepping.
+  void set_lookahead(std::function<double()> fn) { lookahead_ = std::move(fn); }
+
+  /// Worker-pool width a run would use (after resolving threads = 0).
+  [[nodiscard]] int resolved_threads() const;
+
+  // ---------------------------------------------------------- scheduling
+
+  /// Schedule `f` at absolute time `t`.  `t` must be >= now().  The new
+  /// event inherits the owner of the currently executing event (shared
+  /// when called outside event execution).
   template <typename F>
   EventId schedule_at(Time t, F&& f) {
-    if (t < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
-    const std::uint32_t slot = emplace_callback(std::forward<F>(f));
-    const std::uint32_t gen = slots_[slot].gen;
-    enqueue(HeapRec{t, next_seq_++, slot, gen});
-    ++live_;
-    return make_id(gen, slot);
+    const ExecCtx* c = exec_ctx();
+    const int owner = (c != nullptr && c->sched == this) ? c->owner : kOwnerShared;
+    return schedule_at_owned(owner, t, std::forward<F>(f));
   }
 
   /// Schedule `f` `delay` time units from now.  `delay` must be >= 0.
   template <typename F>
   EventId schedule_after(Time delay, F&& f) {
     if (delay < 0) throw std::invalid_argument("Scheduler::schedule_after: negative delay");
-    return schedule_at(now_ + delay, std::forward<F>(f));
+    return schedule_at(now() + delay, std::forward<F>(f));
+  }
+
+  /// Schedule `f` at `t` with an explicit owner (a process id, or
+  /// kOwnerShared for events that touch cross-process state and must
+  /// execute serially under kParallel).  Sequential backends ignore the
+  /// owner entirely.
+  template <typename F>
+  EventId schedule_at_owned(int owner, Time t, F&& f) {
+    ExecCtx* c = exec_ctx();
+    if (c != nullptr && c->staging && c->sched == this) {
+      if (t < c->now)
+        throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+      Partition& p = *static_cast<Partition*>(c->part);
+      const std::uint32_t target = partition_of(owner);
+      if (target == p.index) return stage_own_schedule(p, t, std::forward<F>(f));
+      // Cross-partition schedules from workers are only legal toward the
+      // shared partition, at or beyond the round bound: in this model
+      // they are exactly the wire jobs, whose completion lags by at
+      // least the lookahead.  Direct node-to-node schedules would breach
+      // the conservative horizon.
+      assert(target == 0 && "worker scheduled into another node partition");
+      assert(t >= round_bound_t_ && "staged shared schedule inside the round horizon");
+      const std::uint32_t slot = emplace_callback_in(p, std::forward<F>(f));
+      const std::uint32_t gen = slot_ref(slot).gen;
+      StagedOp op{};
+      op.kind = StagedOp::Kind::kSchedule;
+      op.owner = owner;
+      op.slot = slot;
+      op.gen = gen;
+      op.t = t;
+      p.ops.push_back(op);
+      ++p.live_delta;
+      return make_id(gen, slot);
+    }
+    if (t < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+    Partition& p = parts_[partition_of(owner)];
+    const std::uint32_t slot = emplace_callback_in(p, std::forward<F>(f));
+    const std::uint32_t gen = slot_ref(slot).gen;
+    serial_insert(p, HeapRec{t, next_seq_++, slot, gen});
+    ++live_;
+    return make_id(gen, slot);
+  }
+
+  template <typename F>
+  EventId schedule_after_owned(int owner, Time delay, F&& f) {
+    if (delay < 0) throw std::invalid_argument("Scheduler::schedule_after: negative delay");
+    return schedule_at_owned(owner, now() + delay, std::forward<F>(f));
+  }
+
+  /// Runs one job through a resource queue (see net::Resource, which is
+  /// the only caller): applies `commit` — which advances the resource's
+  /// free_at and returns the completion time — and schedules `f` at that
+  /// completion, owned by `owner`.  Under kParallel, workers apply jobs
+  /// on their own partition's resources immediately (only their events
+  /// touch those during a round) and stage jobs on shared resources for
+  /// in-order replay at the barrier.
+  template <typename F>
+  void resource_enqueue(void* resource, ResourceCommitFn commit, int owner, double service,
+                        F&& f) {
+    ExecCtx* c = exec_ctx();
+    if (c != nullptr && c->staging && c->sched == this) {
+      Partition& p = *static_cast<Partition*>(c->part);
+      const std::uint32_t target = partition_of(owner);
+      if (target == p.index) {
+        const Time done = commit(resource, c->now, service);
+        stage_own_schedule(p, done, std::forward<F>(f));
+        return;
+      }
+      assert(target == 0 && "worker queued a job on another node partition's resource");
+      const std::uint32_t slot = emplace_callback_in(p, std::forward<F>(f));
+      StagedOp op{};
+      op.kind = StagedOp::Kind::kResource;
+      op.owner = owner;
+      op.slot = slot;
+      op.gen = slot_ref(slot).gen;
+      op.service = service;
+      op.obj = resource;
+      op.fn.commit = commit;
+      p.ops.push_back(op);
+      ++p.live_delta;
+      return;
+    }
+    const Time done = commit(resource, now(), service);
+    schedule_at_owned(owner, done, std::forward<F>(f));
   }
 
   /// Cancel a pending event.  Returns true if the event was still pending.
   /// O(1): the callback is destroyed now, the queued record lazily dropped.
+  /// Workers may cancel events of their own partition and of the shared
+  /// partition (the latter is staged: shared events cannot fire inside a
+  /// round, so the observable outcome is the sequential one).
   bool cancel(EventId id);
 
   /// Execute the next pending event, advancing time.  Returns false when
-  /// the queue is empty or the scheduler was stopped.
+  /// the queue is empty or the scheduler was stopped.  kParallel steps
+  /// serially (exact sequential semantics, no staging).
   bool step();
 
   /// Run until the event queue drains, `stop()` is called, or more than
@@ -123,18 +268,22 @@ class Scheduler {
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
   /// Run events with timestamp <= `t`; afterwards now() == t unless the
-  /// scheduler was stopped earlier.  Returns the number of events executed.
+  /// scheduler was stopped earlier.  Returns the number of events
+  /// executed.  This is the entry point that engages kParallel's round
+  /// engine; under kParallel, stop() takes effect at event (serial) or
+  /// round (parallel) granularity.
   std::uint64_t run_until(Time t);
 
   /// Stop a run()/run_until() in progress (from inside a callback).
-  void stop() { stopped_ = true; }
+  void stop() { stopped_.store(true, std::memory_order_relaxed); }
 
-  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
 
   /// Resets the stop flag so that run() can be called again.
-  void clear_stop() { stopped_ = false; }
+  void clear_stop() { stopped_.store(false, std::memory_order_relaxed); }
 
   /// Number of events currently pending (cancelled ones excluded).
+  /// kParallel: only meaningful outside a round (serial points).
   [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Total number of events executed so far.
@@ -165,6 +314,71 @@ class Scheduler {
   };
 
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  // --------------------------------------------------------- partitions
+  /// Slot indices pack (partition << kPartShift | local slot), so
+  /// EventIds stay single-word and release_slot finds the owning slab
+  /// without lookup.  Sequential backends use partition 0 only, which
+  /// keeps their slot indices identical to the pre-partition layout.
+  static constexpr unsigned kPartShift = 24;
+  static constexpr std::uint32_t kLocalSlotMask = (std::uint32_t{1} << kPartShift) - 1;
+  /// Provisional seqs carry the top bit: they sort after every real seq
+  /// (correct, since in-pass children are scheduled after everything
+  /// already pending) and are patched to real seqs at the round barrier.
+  static constexpr std::uint64_t kProvBit = std::uint64_t{1} << 63;
+
+  /// One cross-partition operation recorded by a worker, replayed
+  /// serially at the barrier in exact global order.
+  struct StagedOp {
+    enum class Kind : std::uint8_t { kSchedule, kResource, kEffect, kCancel };
+    Kind kind{};
+    int owner{};           // kSchedule/kResource: owner of the new event
+    std::uint32_t slot{};  // packed slot (kSchedule/kResource/kCancel)
+    std::uint32_t gen{};
+    Time t{};              // kSchedule: absolute fire time
+    std::uint64_t prov{};  // kSchedule into own partition: provisional seq
+    double service{};      // kResource
+    void* obj{};           // kResource: resource; kEffect: receiver
+    union Fn {
+      ResourceCommitFn commit;
+      EffectFn effect;
+    } fn{};
+    alignas(std::max_align_t) std::byte args[kMaxEffectArgBytes];  // kEffect
+  };
+
+  /// One executed event, in local order, with its staged-op range.
+  struct ExecRec {
+    Time t{};
+    std::uint64_t seq{};  // provisional or real
+    std::uint32_t ops_begin{};
+    std::uint32_t ops_end{};
+  };
+
+  struct alignas(64) Partition {
+    std::vector<HeapRec> heap;  // kParallel pending queue (4-ary)
+    std::vector<Slot> slots;
+    std::uint32_t free_head = kNoSlot;
+    std::uint32_t index = 0;
+    // Round-scoped worker state, consumed and cleared at the barrier.
+    std::uint64_t prov_next = 0;
+    std::vector<std::uint64_t> patch;  // provisional counter -> real seq
+    std::vector<StagedOp> ops;
+    std::vector<ExecRec> log;
+    std::uint64_t round_executed = 0;
+    std::int64_t live_delta = 0;
+  };
+
+  [[nodiscard]] std::uint32_t partition_of(int owner) const {
+    const std::uint32_t p = static_cast<std::uint32_t>(owner + 1);
+    return p < parts_.size() ? p : 0;
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t idx) {
+    return parts_[idx >> kPartShift].slots[idx & kLocalSlotMask];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t idx) const {
+    return parts_[idx >> kPartShift].slots[idx & kLocalSlotMask];
+  }
 
   // ------------------------------------------------------------- wheel
   static constexpr unsigned kWheelBits = 8;
@@ -199,7 +413,7 @@ class Scheduler {
   template <typename F>
   struct InlineOps {
     static void run(Scheduler& s, std::uint32_t idx) {
-      Slot& sl = s.slots_[idx];
+      Slot& sl = s.slot_ref(idx);
       F f(std::move(*std::launder(reinterpret_cast<F*>(sl.storage))));
       destroy(sl);
       s.release_slot(idx);  // nested schedule_* calls may reuse it
@@ -211,7 +425,7 @@ class Scheduler {
   template <typename F>
   struct HeapOps {
     static void run(Scheduler& s, std::uint32_t idx) {
-      F* p = *std::launder(reinterpret_cast<F**>(s.slots_[idx].storage));
+      F* p = *std::launder(reinterpret_cast<F**>(s.slot_ref(idx).storage));
       s.release_slot(idx);
       (*p)();
       delete p;
@@ -220,11 +434,11 @@ class Scheduler {
   };
 
   template <typename F>
-  std::uint32_t emplace_callback(F&& f) {
+  std::uint32_t emplace_callback_in(Partition& p, F&& f) {
     using Fn = std::decay_t<F>;
     static_assert(std::is_invocable_v<Fn&>, "Scheduler callback must be invocable");
-    const std::uint32_t idx = acquire_slot();
-    Slot& sl = slots_[idx];
+    const std::uint32_t idx = acquire_slot(p);
+    Slot& sl = slot_ref(idx);
     if constexpr (sizeof(Fn) <= kInlineCallbackBytes && alignof(Fn) <= alignof(std::max_align_t)) {
       ::new (static_cast<void*>(sl.storage)) Fn(std::forward<F>(f));
       sl.run = &InlineOps<Fn>::run;
@@ -237,11 +451,30 @@ class Scheduler {
     return idx;
   }
 
-  std::uint32_t acquire_slot();
+  /// Worker path: schedule into the executing worker's own partition
+  /// with a provisional seq, so intra-partition chains execute in-pass.
+  template <typename F>
+  EventId stage_own_schedule(Partition& p, Time t, F&& f) {
+    const std::uint32_t slot = emplace_callback_in(p, std::forward<F>(f));
+    const std::uint32_t gen = slot_ref(slot).gen;
+    StagedOp op{};
+    op.kind = StagedOp::Kind::kSchedule;
+    op.owner = static_cast<int>(p.index) - 1;
+    op.slot = slot;
+    op.gen = gen;
+    op.t = t;
+    op.prov = kProvBit | p.prov_next++;
+    p.ops.push_back(op);
+    heap_push_on(p.heap, HeapRec{t, op.prov, slot, gen});
+    ++p.live_delta;
+    return make_id(gen, slot);
+  }
+
+  std::uint32_t acquire_slot(Partition& p);
   void release_slot(std::uint32_t idx);
 
   [[nodiscard]] bool rec_live(const HeapRec& rec) const {
-    const Slot& sl = slots_[rec.slot];
+    const Slot& sl = slot_ref(rec.slot);
     return sl.run != nullptr && sl.gen == rec.gen;
   }
 
@@ -250,12 +483,16 @@ class Scheduler {
     if (a.t != b.t) return a.t < b.t;
     return a.seq < b.seq;
   }
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void heap_push(HeapRec rec);
-  void heap_pop_root();
+  static void sift_up(std::vector<HeapRec>& h, std::size_t i);
+  static void sift_down(std::vector<HeapRec>& h, std::size_t i);
+  static void heap_push_on(std::vector<HeapRec>& h, HeapRec rec);
+  static void heap_pop_root_on(std::vector<HeapRec>& h);
 
-  /// Backend dispatch for schedule_at.
+  /// Sequential insert: dispatches to the configured backend's queue and
+  /// maintains the kParallel node-minimum cache.
+  void serial_insert(Partition& p, const HeapRec& rec);
+
+  /// Backend dispatch for schedule_at (sequential backends).
   void enqueue(HeapRec rec);
 
   /// Exposes the next live event without consuming it; false when none
@@ -265,6 +502,33 @@ class Scheduler {
   bool peek_next(HeapRec& out);
   /// Consumes the record last returned by peek_next.
   void pop_peeked();
+
+  // ------------------------------------------------- kParallel internals
+  struct ParallelEngine;
+
+  /// Drops stale roots; false when the partition queue is empty.
+  bool part_peek(Partition& p, HeapRec& out);
+  void recompute_node_min();
+  /// Globally earliest live event: partition index into `out_part`,
+  /// record into `out`; false when nothing is pending.
+  bool global_min(HeapRec& out, std::uint32_t& out_part);
+  /// Pops and executes one event serially with exact sequential
+  /// semantics (real seqs, direct inserts).  Pre: `rec` is p's root and
+  /// the global minimum.
+  void exec_direct(Partition& p, const HeapRec& rec);
+  std::uint64_t run_until_parallel(Time limit);
+  bool step_parallel();
+  /// Executes one staged round bounded by (round_bound_t_,
+  /// round_bound_seq_); returns the number of events executed.
+  std::uint64_t run_round();
+  void run_partition_pass(Partition& p);
+  void run_worker_passes(int worker);
+  void worker_main(int worker);
+  void merge_round();
+  void replay_op(Partition& src, const StagedOp& op, Time t);
+  void ensure_engine();
+
+  friend void stage_effect_raw(EffectFn fn, void* obj, const void* args, std::size_t size);
 
   // Wheel internals (all no-ops under the heap backend).
   [[nodiscard]] std::uint64_t tick_of(Time t) const;
@@ -294,8 +558,10 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   double inv_tick_ = 0.0;
+  bool parallel_ = false;
 
   /// Heap backend's queue; the wheel backend's far-future overflow.
+  /// Unused under kParallel (each partition has its own heap).
   std::vector<HeapRec> heap_;
 
   /// Wheel state (allocated only for the wheel backend).
@@ -315,13 +581,29 @@ class Scheduler {
   /// ready_ and the overflow heap.
   std::size_t wheel_count_ = 0;
 
-  std::vector<Slot> slots_;
-  std::uint32_t free_head_ = kNoSlot;
+  /// Callback slabs (+ kParallel pending queues).  Always at least one
+  /// element; sequential backends use parts_[0] exclusively.
+  std::vector<Partition> parts_{1};
+
+  std::function<double()> lookahead_;
+  std::unique_ptr<ParallelEngine> engine_;
+  /// Exclusive key bound of the round in flight (workers read it).
+  Time round_bound_t_ = kTimeZero;
+  std::uint64_t round_bound_seq_ = 0;
+  /// Cache of the earliest node-partition event, so serial stretches of
+  /// shared events don't rescan every partition per event.  Maintained
+  /// by serial_insert; invalidated by node-event execution, rounds, and
+  /// cancels into the cached partition.
+  bool node_min_valid_ = false;
+  std::uint32_t node_min_part_ = 0;  // 0 = no node-partition events
+  Time node_min_t_ = kTimeZero;
+  std::uint64_t node_min_seq_ = 0;
+
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
   Time now_ = kTimeZero;
   std::uint64_t executed_ = 0;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace fdgm::sim

@@ -43,12 +43,13 @@ struct HashSink final : abcast::DeliverSink {
 std::uint64_t delivery_hash(Algorithm algo,
                             sim::SchedulerBackend backend = sim::SchedulerBackend::kHeap,
                             bool transport = false, bool batching = false,
-                            bool observed = false) {
+                            bool observed = false, int threads = 0) {
   SimConfig cfg;
   cfg.algorithm = algo;
   cfg.n = 5;
   cfg.seed = 424242;
   cfg.scheduler.backend = backend;
+  cfg.scheduler.threads = threads;
   cfg.transport.enabled = transport;
   cfg.batching.enabled = batching;
   cfg.obs.enabled = observed;
@@ -199,6 +200,107 @@ TEST(GoldenSeed, ObserverArmedBatchingGoldenFd) {
 TEST(GoldenSeed, ObserverArmedBatchingGoldenGm) {
   EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kHeap, false, true, true),
             kGoldenGmBatch);
+}
+
+// The parallel (conservative-PDES) backend must reproduce the sequential
+// goldens bit for bit — delivery sequence, RNG draws AND executed event
+// count (the hash mixes it) — for every thread count.  threads = 1 runs
+// rounds through the full staging machinery on the caller alone, which
+// isolates the round/barrier logic from actual concurrency; threads = 2
+// and 8 add real worker interleavings on top.  Covered in every armed
+// variant whose state crosses partitions differently: plain, loss-free
+// transport, batching, and the observer.
+class GoldenSeedParallel : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Threads, GoldenSeedParallel, ::testing::Values(1, 2, 8));
+
+TEST_P(GoldenSeedParallel, MatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kParallel, false, false, false,
+                          GetParam()),
+            kGoldenFd);
+}
+
+TEST_P(GoldenSeedParallel, MatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kParallel, false, false, false,
+                          GetParam()),
+            kGoldenGm);
+}
+
+TEST_P(GoldenSeedParallel, TransportArmedMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kParallel, true, false, false,
+                          GetParam()),
+            kGoldenFd);
+}
+
+TEST_P(GoldenSeedParallel, TransportArmedMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kParallel, true, false, false,
+                          GetParam()),
+            kGoldenGm);
+}
+
+TEST_P(GoldenSeedParallel, BatchingArmedGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kParallel, false, true, false,
+                          GetParam()),
+            kGoldenFdBatch);
+}
+
+TEST_P(GoldenSeedParallel, BatchingArmedGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kParallel, false, true, false,
+                          GetParam()),
+            kGoldenGmBatch);
+}
+
+TEST_P(GoldenSeedParallel, ObserverArmedMatchesGoldenFd) {
+  EXPECT_EQ(delivery_hash(Algorithm::kFd, sim::SchedulerBackend::kParallel, false, false, true,
+                          GetParam()),
+            kGoldenFd);
+}
+
+TEST_P(GoldenSeedParallel, ObserverArmedMatchesGoldenGm) {
+  EXPECT_EQ(delivery_hash(Algorithm::kGm, sim::SchedulerBackend::kParallel, false, false, true,
+                          GetParam()),
+            kGoldenGm);
+}
+
+// Executed-event counts asserted directly (not only through the hash):
+// the parallel backend must execute exactly the events the heap backend
+// does — neither skipping stale records differently nor double-running
+// staged work.
+TEST(GoldenSeedParallel_Counts, ExecutedEventCountMatchesHeap) {
+  for (Algorithm algo : {Algorithm::kFd, Algorithm::kGm}) {
+    std::uint64_t heap_executed = 0;
+    {
+      SimConfig cfg;
+      cfg.algorithm = algo;
+      cfg.n = 5;
+      cfg.seed = 424242;
+      cfg.fd_params.detection_time = 30.0;
+      cfg.fd_params.wrong_suspicions = true;
+      cfg.fd_params.mistake_recurrence = 2000.0;
+      cfg.fd_params.mistake_duration = 50.0;
+      SimRun run(cfg, WorkloadConfig{.throughput = 200.0});
+      run.start();
+      run.run_until(3000.0);
+      heap_executed = run.system().scheduler().executed();
+    }
+    for (int threads : {1, 2, 8}) {
+      SimConfig cfg;
+      cfg.algorithm = algo;
+      cfg.n = 5;
+      cfg.seed = 424242;
+      cfg.scheduler.backend = sim::SchedulerBackend::kParallel;
+      cfg.scheduler.threads = threads;
+      cfg.fd_params.detection_time = 30.0;
+      cfg.fd_params.wrong_suspicions = true;
+      cfg.fd_params.mistake_recurrence = 2000.0;
+      cfg.fd_params.mistake_duration = 50.0;
+      SimRun run(cfg, WorkloadConfig{.throughput = 200.0});
+      run.start();
+      run.run_until(3000.0);
+      EXPECT_EQ(run.system().scheduler().executed(), heap_executed)
+          << algorithm_name(algo) << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -11,14 +11,17 @@
 // and far-future overflow spills included).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <random>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "sim/exec_ctx.hpp"
 #include "sim/scheduler.hpp"
 
 // GCC pairs the malloc-backed operator new below with the free-backed
@@ -30,17 +33,19 @@
 
 // Allocation-counting harness: counts every global operator new in this
 // test binary so the steady-state tests can assert the slab scheduler
-// performs zero heap allocations per event.
+// performs zero heap allocations per event.  Atomic: the parallel
+// backend's worker threads allocate too (their partitions' slab growth),
+// and the counter must not itself be a race under TSan.
 namespace {
-std::uint64_t g_alloc_count = 0;
+std::atomic<std::uint64_t> g_alloc_count{0};
 }
 void* operator new(std::size_t n) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
 void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   return std::malloc(n);
 }
 void operator delete(void* p) noexcept { std::free(p); }
@@ -56,7 +61,8 @@ class SchedulerTest : public ::testing::TestWithParam<SchedulerBackend> {
 };
 
 INSTANTIATE_TEST_SUITE_P(Backends, SchedulerTest,
-                         ::testing::Values(SchedulerBackend::kHeap, SchedulerBackend::kWheel),
+                         ::testing::Values(SchedulerBackend::kHeap, SchedulerBackend::kWheel,
+                                           SchedulerBackend::kParallel),
                          [](const auto& info) { return scheduler_backend_name(info.param); });
 
 TEST_P(SchedulerTest, StartsAtTimeZero) {
@@ -470,6 +476,124 @@ TEST(SchedulerWheel, CoarseAndFineTicksPreserveOrder) {
   const auto heap = firing_trace(SchedulerBackend::kHeap, 99);
   for (double tick : {4.0, 0.001})
     EXPECT_EQ(firing_trace(SchedulerBackend::kWheel, 99, tick), heap) << "tick " << tick;
+}
+
+// ---------------------------------------------------------------- parallel
+
+// Without partitions every event is shared and kParallel steps serially,
+// so the un-owned trace must already be bit-identical to the heap's.
+TEST(SchedulerParallel, UnpartitionedFiringOrderBitIdenticalToHeap) {
+  for (std::uint64_t seed : {1ull, 7ull, 20260729ull})
+    EXPECT_EQ(firing_trace(SchedulerBackend::kParallel, seed),
+              firing_trace(SchedulerBackend::kHeap, seed))
+        << "seed " << seed;
+}
+
+/// Trace recorder whose observation point is the round barrier: on a
+/// staging worker the record is deferred and replayed in exact global
+/// (time, seq) order, on the sequential backends it runs inline — so a
+/// bit-identical trace IS the determinism contract of the round engine,
+/// not merely a per-partition projection of it.
+struct TraceRec {
+  std::vector<std::tuple<double, int, std::uint64_t>>* out = nullptr;
+  void record(double t, int owner, std::uint64_t token) { out->emplace_back(t, owner, token); }
+  void add(double t, int owner, std::uint64_t token) {
+    if (stage_effect<&TraceRec::record>(this, t, owner, token)) return;
+    record(t, owner, token);
+  }
+};
+
+/// Deterministic randomized *owned* load: events spread over `kOwners`
+/// node partitions plus a shared slice (the round bounds), quantized
+/// times forcing FIFO ties across partitions, ~20% cancellations from the
+/// serial context, owner-inherited follow-up schedules fired from inside
+/// worker callbacks, and a mid-run run_until boundary.
+std::vector<std::tuple<double, int, std::uint64_t>> owned_firing_trace(SchedulerBackend backend,
+                                                                       std::uint64_t seed,
+                                                                       int threads = 1) {
+  SchedulerConfig cfg{backend};
+  cfg.threads = threads;
+  Scheduler s(cfg);
+  constexpr int kOwners = 8;
+  if (backend == SchedulerBackend::kParallel) {
+    s.set_partitions(kOwners);
+    s.set_lookahead([] { return 2.0; });
+  }
+  std::vector<std::tuple<double, int, std::uint64_t>> fired;
+  TraceRec rec{&fired};
+  std::mt19937_64 rng(seed);
+  std::vector<EventId> ids;
+  constexpr std::uint64_t kEvents = 6000;
+  for (std::uint64_t token = 0; token < kEvents; ++token) {
+    const double t = static_cast<double>(rng() % 4000) * 0.25;  // quantized: many ties
+    const int owner =
+        rng() % 8 == 0 ? kOwnerShared : static_cast<int>(rng() % static_cast<unsigned>(kOwners));
+    ids.push_back(s.schedule_at_owned(owner, t, [&s, &rec, owner, token] {
+      rec.add(s.now(), owner, token);
+      if (token % 3 == 0) {
+        // Inherits the executing event's owner: stays in-partition, which
+        // is the in-pass provisional-execution path on a staging worker.
+        const std::uint64_t follow = token + 1'000'000;
+        s.schedule_after(static_cast<double>(token % 5) * 0.25,
+                         [&s, &rec, owner, follow] { rec.add(s.now(), owner, follow); });
+      }
+    }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 5) s.cancel(ids[i]);
+  s.run_until(300.0);
+  s.run_until(1.0e9);
+  fired.emplace_back(0.0, -2, s.executed());  // executed-count sentinel
+  return fired;
+}
+
+// The tentpole contract at scheduler level: the conservative round engine
+// (partitioned events, in-pass provisional execution, barrier replay)
+// reproduces the heap backend's observable firing order bit for bit, for
+// every worker count.  threads = 1 drives the full staging machinery on
+// the caller; 2 and 8 add real cross-thread interleavings.
+TEST(SchedulerParallel, OwnedFiringOrderBitIdenticalToHeapAcrossThreadCounts) {
+  for (std::uint64_t seed : {3ull, 11ull, 20260808ull}) {
+    const auto heap = owned_firing_trace(SchedulerBackend::kHeap, seed);
+    for (int threads : {1, 2, 8}) {
+      const auto par = owned_firing_trace(SchedulerBackend::kParallel, seed, threads);
+      ASSERT_EQ(par.size(), heap.size()) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par, heap) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// Stress shape for the sanitizer jobs (TSan runs this in CI): many more
+// owners than workers, so each worker multiplexes several partitions per
+// round, across repeated rounds with ties and nested schedules.
+TEST(SchedulerParallel, StressManyOwnersFewWorkers) {
+  SchedulerConfig cfg{SchedulerBackend::kParallel};
+  cfg.threads = 4;
+  Scheduler s(cfg);
+  constexpr int kOwners = 32;
+  s.set_partitions(kOwners);
+  s.set_lookahead([] { return 1.0; });
+  std::vector<std::tuple<double, int, std::uint64_t>> fired;
+  TraceRec rec{&fired};
+  std::mt19937_64 rng(77);
+  std::uint64_t expected = 0;
+  for (std::uint64_t token = 0; token < 20000; ++token) {
+    const double t = static_cast<double>(rng() % 8000) * 0.125;
+    const int owner = static_cast<int>(rng() % kOwners);
+    ++expected;
+    if (token % 4 == 0) ++expected;  // follow-up
+    s.schedule_at_owned(owner, t, [&s, &rec, owner, token] {
+      rec.add(s.now(), owner, token);
+      if (token % 4 == 0)
+        s.schedule_after(0.125, [&s, &rec, owner, token] { rec.add(s.now(), owner, token); });
+    });
+  }
+  s.run_until(2000.0);
+  EXPECT_EQ(s.executed(), expected);
+  EXPECT_EQ(fired.size(), expected);
+  // Replay order must be globally sorted by time (seq breaks ties within
+  // equal times, which the recorder observes through insertion order).
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    ASSERT_LE(std::get<0>(fired[i - 1]), std::get<0>(fired[i])) << "at " << i;
 }
 
 }  // namespace
