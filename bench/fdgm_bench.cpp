@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -47,6 +48,8 @@ struct Options {
   bool batch = false;
   std::string trace_path;    // --trace: Chrome trace-event JSON export
   std::string metrics_path;  // --metrics: windowed counter CSV export
+  bool faults_inline = false;  // --faults given (conflicts with --faults-file)
+  bool faults_file = false;    // --faults-file given
   fault::FaultSchedule faults;
   sim::SchedulerConfig scheduler;
   std::map<std::string, std::string> params;  // --set key=value
@@ -93,7 +96,15 @@ void print_usage() {
       "                    (events: crash/recover p<i> @t; partition {..|..} @t\n"
       "                    heal @t; apartition p<i>,..->p<j>,.. @t heal @t;\n"
       "                    loss <rate> @t for <dur>; delay x<f> @t for <dur>;\n"
-      "                    storm p<i>,.. @t for <dur>; see README)\n"
+      "                    storm p<i>,.. @t for <dur>; limp p<i> x<k> @t for\n"
+      "                    <dur>; drift p<i> x<k> @t for <dur>; flap\n"
+      "                    p<i>->p<j> period <ms> duty <d> @t for <dur>;\n"
+      "                    corrupt <rate> [p<i>,..->p<j>,..] @t for <dur>;\n"
+      "                    see README)\n"
+      "  --faults-file F   like --faults, but read the schedule from file F\n"
+      "                    (newlines are treated as whitespace; ';' still\n"
+      "                    separates events).  Mutually exclusive with\n"
+      "                    --faults.\n"
       "  --backend B       scheduler backend: heap | wheel | par (default\n"
       "                    heap); bit-identical results, different speed\n"
       "                    profiles (par = intra-run parallel rounds)\n"
@@ -243,10 +254,28 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--faults") {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
+      opt.faults_inline = true;
       try {
         opt.faults = fault::FaultSchedule::parse(v);
       } catch (const std::invalid_argument& e) {
         std::cerr << "fdgm_bench: " << e.what() << '\n';
+        return false;
+      }
+    } else if (a == "--faults-file") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      opt.faults_file = true;
+      std::ifstream file(v);
+      if (!file) {
+        std::cerr << "fdgm_bench: cannot read --faults-file '" << v << "'\n";
+        return false;
+      }
+      std::string spec((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+      try {
+        opt.faults = fault::FaultSchedule::parse(spec);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "fdgm_bench: " << v << ": " << e.what() << '\n';
         return false;
       }
     } else if (!a.empty() && a[0] == '-') {
@@ -255,6 +284,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else {
       opt.scenarios.push_back(a);
     }
+  }
+  if (opt.faults_inline && opt.faults_file) {
+    std::cerr << "fdgm_bench: --faults and --faults-file are mutually exclusive\n";
+    return false;
   }
   return true;
 }

@@ -291,6 +291,74 @@ void BM_TransportPingPong_wheel(benchmark::State& state) {
 }
 BENCHMARK(BM_TransportPingPong_wheel);
 
+// Raw frame-checksum cost: stamp + verify over a resident message set,
+// nothing else.  This is the per-frame arithmetic a corrupt-armed run adds
+// to every delivery; it must not allocate.
+void BM_FrameChecksumKernel(benchmark::State& state) {
+  constexpr int kMsgs = 256;
+  const net::BlankPayload payload;
+  std::vector<net::Message> msgs;
+  msgs.reserve(kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    net::Message m{i % 8, (i + 1) % 8, net::ProtocolId::kApplication, {}, &payload};
+    m.frame.seq = static_cast<std::uint32_t>(i + 1);  // stamped: seq_no != 0
+    msgs.push_back(m);
+  }
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t frames = 0;
+  std::uint64_t ok = 0;
+  for (auto _ : state) {
+    for (net::Message& m : msgs) {
+      m.frame.check = net::frame_digest(m);
+      ok += net::frame_checksum_ok(m) ? 1 : 0;
+    }
+    frames += kMsgs;
+  }
+  state.SetItemsProcessed(frames);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(frames);
+  benchmark::DoNotOptimize(ok);
+}
+BENCHMARK(BM_FrameChecksumKernel);
+
+// Transport hot path with checksums latched (what arming any `corrupt`
+// window does for the whole run): every delivery additionally stamps the
+// digest at the wire and verifies it at Transport::on_frame.  The delta
+// against BM_TransportPingPong_heap is the end-to-end checksum tax; the
+// path must stay allocation-free (perf-smoke asserts it).
+void BM_TransportChecksumPingPong_heap(benchmark::State& state) {
+  net::System sys(2, net::NetworkConfig{}, 1, sim::SchedulerConfig{},
+                  transport::Config{.enabled = true});
+  sys.network().enable_checksums();
+  class Sink final : public net::Layer {
+   public:
+    void on_message(const net::Message&) override {}
+  } sink;
+  sys.node(0).register_handler(net::ProtocolId::kApplication, &sink);
+  sys.node(1).register_handler(net::ProtocolId::kApplication, &sink);
+  const net::BlankPayload payload;
+  auto round = [&] {
+    for (int i = 0; i < 500; ++i) {
+      sys.node(0).send(1, net::ProtocolId::kApplication, &payload);
+      sys.node(1).send(0, net::ProtocolId::kApplication, &payload);
+    }
+    sys.scheduler().run();
+  };
+  for (int r = 0; r < 4; ++r) round();  // warm-up: grow slab/list capacity
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t msgs = 0;
+  for (auto _ : state) {
+    round();
+    msgs += 1000;
+  }
+  state.SetItemsProcessed(msgs);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(msgs);
+  benchmark::DoNotOptimize(sys.transport()->stats().data_frames);
+  benchmark::DoNotOptimize(sys.transport()->stats().corrupt_dropped);
+}
+BENCHMARK(BM_TransportChecksumPingPong_heap);
+
 // Transport recovery path: a 5%-lossy unidirectional stream — every round
 // drains completely, so the measured cost includes gap detection, NACKs,
 // timer rounds, retransmissions and duplicate-triggered ACKs.  This path

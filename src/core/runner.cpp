@@ -180,9 +180,17 @@ TransientResult run_transient(const SimConfig& cfg, const TransientConfig& tc) {
 
 namespace {
 
-/// One windowed replica; returns one mean per window, empty on failure.
-std::vector<double> windowed_replica(SimConfig cfg, const WindowedConfig& wc,
-                                     std::uint64_t seed) {
+/// One windowed replica: per-window latency means plus the replica's
+/// failure-information counters (zero when the observer is disarmed).
+struct WindowedReplica {
+  std::vector<double> means;  // empty = failed to drain / empty window
+  std::uint64_t suspicions = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t corruption_detected = 0;
+};
+
+WindowedReplica windowed_replica(SimConfig cfg, const WindowedConfig& wc,
+                                 std::uint64_t seed) {
   cfg.seed = seed;
   SimRun run(cfg, WorkloadConfig{.throughput = wc.throughput});
   run.start();
@@ -192,38 +200,50 @@ std::vector<double> windowed_replica(SimConfig cfg, const WindowedConfig& wc,
   sched.run_until(wc.t_end);
   run.workload().stop();
 
+  WindowedReplica out;
   // Drain: every message of the horizon must be delivered somewhere.
   const sim::Time drain_deadline = wc.t_end + wc.drain_ms;
   while (run.recorder().undelivered_in_window(0.0, wc.t_end) > 0) {
-    if (sched.now() > drain_deadline) return {};
+    if (sched.now() > drain_deadline) return out;
     sched.run_until(sched.now() + step);
   }
 
-  std::vector<double> means;
-  means.reserve(wc.windows.size());
+  out.means.reserve(wc.windows.size());
   for (const auto& [from, to] : wc.windows) {
     const util::RunningStats stats = run.recorder().window_stats(from, to);
-    if (stats.count() == 0) return {};  // empty window: nothing to report
-    means.push_back(stats.mean());
+    if (stats.count() == 0) {
+      out.means.clear();
+      return out;  // empty window: nothing to report
+    }
+    out.means.push_back(stats.mean());
   }
-  return means;
+  if (obs::Observer* o = run.observer()) {
+    out.suspicions = o->total(obs::Counter::kSuspicions);
+    out.view_changes = o->total(obs::Counter::kViewChanges);
+    out.corruption_detected = o->total(obs::Counter::kCorruptionDetected);
+  }
+  return out;
 }
 
 }  // namespace
 
 WindowedResult run_windowed(const SimConfig& cfg, const WindowedConfig& wc) {
-  const std::vector<std::vector<double>> outcomes =
+  const std::vector<WindowedReplica> outcomes =
       parallel_map(wc.replicas, wc.jobs, [&](std::size_t r) {
         return windowed_replica(cfg, wc, cfg.seed + r);
       });
 
   WindowedResult out;
   std::vector<std::vector<double>> per_window(wc.windows.size());
-  for (const auto& means : outcomes) {
+  for (const auto& rep : outcomes) {
+    const auto& means = rep.means;
     if (means.empty()) {
       out.stable = false;
       continue;
     }
+    out.suspicions += rep.suspicions;
+    out.view_changes += rep.view_changes;
+    out.corruption_detected += rep.corruption_detected;
     for (std::size_t w = 0; w < means.size(); ++w) per_window[w].push_back(means[w]);
   }
   // Same reporting rule as run_steady: a clear majority of replicas must

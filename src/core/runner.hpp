@@ -127,6 +127,16 @@ struct WindowedResult {
   /// One entry per window, aggregated over replica means (95% CI).
   std::vector<util::MeanCi> windows;
   bool stable = true;
+  /// Failure-information counters summed over the converged replicas; all
+  /// zero unless SimConfig::obs is armed.  The gray-failure scenarios
+  /// read these to decompose *why* the two stacks react differently to a
+  /// degraded-but-alive process: FD pays in suspicion churn, GM pays in
+  /// membership view changes.
+  std::uint64_t suspicions = 0;
+  std::uint64_t view_changes = 0;
+  /// Checksum-failed frames dropped at receivers, summed over converged
+  /// replicas (transport verify + final-delivery verify paths).
+  std::uint64_t corruption_detected = 0;
 };
 
 WindowedResult run_windowed(const SimConfig& cfg, const WindowedConfig& wc);

@@ -26,22 +26,45 @@ const char* fault_kind_name(FaultKind k) {
       return "delay";
     case FaultKind::kSuspicionStorm:
       return "storm";
+    case FaultKind::kLimp:
+      return "limp";
+    case FaultKind::kFlap:
+      return "flap";
+    case FaultKind::kDrift:
+      return "drift";
+    case FaultKind::kCorrupt:
+      return "corrupt";
   }
   return "?";
 }
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what, std::string_view event_text) {
-  throw std::invalid_argument("FaultSchedule: " + what + " in \"" + std::string(event_text) +
-                              "\"");
+/// A token plus its offset in the full schedule string, so diagnostics can
+/// point at the exact spot: `--faults` / `--faults-file` input is written
+/// by hand and "column 37" beats re-reading the whole schedule.
+struct Tok {
+  std::string text;
+  std::size_t pos = std::string::npos;
+};
+
+constexpr std::size_t kNoPos = std::string::npos;
+
+[[noreturn]] void fail(const std::string& what, std::string_view event_text,
+                       std::size_t pos = kNoPos, std::string_view tok = {}) {
+  std::string msg = "FaultSchedule: " + what;
+  if (!tok.empty()) msg += " at token '" + std::string(tok) + "'";
+  if (pos != kNoPos) msg += " (offset " + std::to_string(pos) + ")";
+  msg += " in \"" + std::string(event_text) + "\"";
+  throw std::invalid_argument(msg);
 }
 
 /// Splits an event body into whitespace-separated tokens, keeping a
 /// brace-delimited group list ("{0,1|2}") together as one token even if it
-/// contains spaces.
-std::vector<std::string> tokenize(std::string_view text) {
-  std::vector<std::string> out;
+/// contains spaces.  `base` is the event's offset in the full schedule
+/// string; each token records its absolute offset for diagnostics.
+std::vector<Tok> tokenize(std::string_view text, std::size_t base) {
+  std::vector<Tok> out;
   std::size_t i = 0;
   while (i < text.size()) {
     if (std::isspace(static_cast<unsigned char>(text[i]))) {
@@ -51,110 +74,138 @@ std::vector<std::string> tokenize(std::string_view text) {
     std::size_t j = i;
     if (text[i] == '{') {
       while (j < text.size() && text[j] != '}') ++j;
-      if (j == text.size()) fail("unterminated '{'", text);
+      if (j == text.size()) fail("unterminated '{'", text, base + i);
       ++j;  // include '}'
     } else {
       while (j < text.size() && !std::isspace(static_cast<unsigned char>(text[j]))) ++j;
     }
-    out.emplace_back(text.substr(i, j - i));
+    out.push_back(Tok{std::string(text.substr(i, j - i)), base + i});
     i = j;
   }
   return out;
 }
 
-double parse_number(const std::string& tok, std::string_view event_text) {
+double parse_number(const Tok& tok, std::string_view event_text) {
   double v = 0.0;
   std::size_t used = 0;
   try {
-    v = std::stod(tok, &used);
+    v = std::stod(tok.text, &used);
   } catch (const std::invalid_argument&) {
-    fail("expected a number, got '" + tok + "'", event_text);
+    fail("expected a number", event_text, tok.pos, tok.text);
   } catch (const std::out_of_range&) {
-    fail("number out of range: '" + tok + "'", event_text);
+    fail("number out of range", event_text, tok.pos, tok.text);
   }
   // Validate outside the try block so these diagnostics are not swallowed
   // by the catch clauses above (fail throws std::invalid_argument too).
-  if (used != tok.size()) fail("trailing characters after number '" + tok + "'", event_text);
+  if (used != tok.text.size()) fail("trailing characters after number", event_text, tok.pos, tok.text);
   // Non-finite values would corrupt the scheduler (NaN breaks the event
   // heap's ordering, inf never completes): reject at the source.
-  if (!std::isfinite(v)) fail("non-finite number '" + tok + "'", event_text);
+  if (!std::isfinite(v)) fail("non-finite number", event_text, tok.pos, tok.text);
   return v;
 }
 
+/// Re-tags a slice of a token (e.g. "x4" minus the 'x') as its own token,
+/// keeping the absolute offset aligned with the slice's start.
+Tok sub_tok(const Tok& tok, std::size_t from, std::size_t count = std::string::npos) {
+  return Tok{tok.text.substr(from, count), tok.pos == kNoPos ? kNoPos : tok.pos + from};
+}
+
 /// "@500" -> 500.0
-sim::Time parse_at(const std::string& tok, std::string_view event_text) {
-  if (tok.empty() || tok[0] != '@') fail("expected '@<time>', got '" + tok + "'", event_text);
-  const double t = parse_number(tok.substr(1), event_text);
-  if (t < 0) fail("negative event time", event_text);
+sim::Time parse_at(const Tok& tok, std::string_view event_text) {
+  if (tok.text.empty() || tok.text[0] != '@')
+    fail("expected '@<time>'", event_text, tok.pos, tok.text);
+  const double t = parse_number(sub_tok(tok, 1), event_text);
+  if (t < 0) fail("negative event time", event_text, tok.pos, tok.text);
   return t;
 }
 
 /// "p3" -> 3
-net::ProcessId parse_pid(const std::string& tok, std::string_view event_text) {
-  if (tok.size() < 2 || tok[0] != 'p')
-    fail("expected 'p<id>', got '" + tok + "'", event_text);
-  const double v = parse_number(tok.substr(1), event_text);
+net::ProcessId parse_pid(const Tok& tok, std::string_view event_text) {
+  if (tok.text.size() < 2 || tok.text[0] != 'p')
+    fail("expected 'p<id>'", event_text, tok.pos, tok.text);
+  const double v = parse_number(sub_tok(tok, 1), event_text);
   // Range-check before converting: a float-to-int cast of an
   // out-of-range value is undefined behavior, not a detectable error.
   if (!(v >= 0.0 && v < 2147483648.0) || v != std::trunc(v))
-    fail("bad process id '" + tok + "'", event_text);
+    fail("bad process id", event_text, tok.pos, tok.text);
   return static_cast<net::ProcessId>(v);
 }
 
 /// "p1,p2" or "1,2" -> {1, 2}
-std::vector<net::ProcessId> parse_pid_list(const std::string& tok,
-                                           std::string_view event_text) {
+std::vector<net::ProcessId> parse_pid_list(const Tok& tok, std::string_view event_text) {
   std::vector<net::ProcessId> out;
   std::size_t start = 0;
-  while (start <= tok.size()) {
-    std::size_t comma = tok.find(',', start);
-    if (comma == std::string::npos) comma = tok.size();
-    std::string item = tok.substr(start, comma - start);
-    if (item.empty()) fail("empty process id in list '" + tok + "'", event_text);
-    if (item[0] != 'p') item = "p" + item;
+  while (start <= tok.text.size()) {
+    std::size_t comma = tok.text.find(',', start);
+    if (comma == std::string::npos) comma = tok.text.size();
+    Tok item = sub_tok(tok, start, comma - start);
+    if (item.text.empty()) fail("empty process id in list", event_text, tok.pos, tok.text);
+    if (item.text[0] != 'p') item.text = "p" + item.text;
     out.push_back(parse_pid(item, event_text));
-    if (comma == tok.size()) break;
+    if (comma == tok.text.size()) break;
     start = comma + 1;
   }
-  if (out.empty()) fail("empty process list", event_text);
+  if (out.empty()) fail("empty process list", event_text, tok.pos, tok.text);
   return out;
 }
 
 /// "{0,1|2,3}" -> {{0,1},{2,3}}
-std::vector<std::vector<net::ProcessId>> parse_groups(const std::string& tok,
+std::vector<std::vector<net::ProcessId>> parse_groups(const Tok& tok,
                                                       std::string_view event_text) {
-  if (tok.size() < 2 || tok.front() != '{' || tok.back() != '}')
-    fail("expected '{ids|ids|...}', got '" + tok + "'", event_text);
+  if (tok.text.size() < 2 || tok.text.front() != '{' || tok.text.back() != '}')
+    fail("expected '{ids|ids|...}'", event_text, tok.pos, tok.text);
   std::vector<std::vector<net::ProcessId>> groups;
-  const std::string body = tok.substr(1, tok.size() - 2);
+  const Tok body = sub_tok(tok, 1, tok.text.size() - 2);
   std::size_t start = 0;
-  while (start <= body.size()) {
-    std::size_t bar = body.find('|', start);
-    if (bar == std::string::npos) bar = body.size();
-    groups.push_back(parse_pid_list(body.substr(start, bar - start), event_text));
-    if (bar == body.size()) break;
+  while (start <= body.text.size()) {
+    std::size_t bar = body.text.find('|', start);
+    if (bar == std::string::npos) bar = body.text.size();
+    groups.push_back(parse_pid_list(sub_tok(body, start, bar - start), event_text));
+    if (bar == body.text.size()) break;
     start = bar + 1;
   }
-  if (groups.size() < 2) fail("a partition needs at least two groups", event_text);
+  if (groups.size() < 2) fail("a partition needs at least two groups", event_text, tok.pos);
   // A process in two groups is ambiguous — reject rather than silently
   // keeping the last listing.
   std::set<net::ProcessId> seen;
   for (const auto& g : groups)
     for (net::ProcessId p : g)
       if (!seen.insert(p).second)
-        fail("process p" + std::to_string(p) + " listed in more than one group", event_text);
+        fail("process p" + std::to_string(p) + " listed in more than one group", event_text,
+             tok.pos);
   return groups;
 }
 
-/// Window suffix shared by loss / delay / storm: "@<t> for <dur>".
-void parse_window(const std::vector<std::string>& toks, std::size_t from, FaultEvent& e,
+/// "pA,..->pB,.." -> {{senders}, {destinations}} (a directed link set).
+std::vector<std::vector<net::ProcessId>> parse_link(const Tok& tok,
+                                                    std::string_view event_text) {
+  const std::size_t arrow = tok.text.find("->");
+  if (arrow == std::string::npos || arrow == 0 || arrow + 2 >= tok.text.size())
+    fail("expected '<senders>-><destinations>'", event_text, tok.pos, tok.text);
+  std::vector<std::vector<net::ProcessId>> groups;
+  groups.push_back(parse_pid_list(sub_tok(tok, 0, arrow), event_text));
+  groups.push_back(parse_pid_list(sub_tok(tok, arrow + 2), event_text));
+  return groups;
+}
+
+/// Window suffix shared by loss / delay / storm / the gray kinds:
+/// "@<t> for <dur>".
+void parse_window(const std::vector<Tok>& toks, std::size_t from, FaultEvent& e,
                   std::string_view event_text) {
-  if (toks.size() != from + 3 || toks[from + 1] != "for")
-    fail("expected '@<time> for <duration>'", event_text);
+  if (toks.size() != from + 3 || toks[from + 1].text != "for")
+    fail("expected '@<time> for <duration>'", event_text,
+         toks.size() > from ? toks[from].pos : kNoPos);
   e.at = parse_at(toks[from], event_text);
   const double dur = parse_number(toks[from + 2], event_text);
-  if (dur < 0) fail("negative duration", event_text);
+  if (dur < 0) fail("negative duration", event_text, toks[from + 2].pos, toks[from + 2].text);
   e.until = e.at + dur;
+}
+
+/// "x4" -> 4.0 (a multiplier token).
+double parse_factor(const Tok& tok, std::string_view event_text) {
+  if (tok.text.empty() || tok.text[0] != 'x')
+    fail("expected 'x<factor>'", event_text, tok.pos, tok.text);
+  return parse_number(sub_tok(tok, 1), event_text);
 }
 
 std::string format_number(double v) {
@@ -175,68 +226,114 @@ std::string format_pid_list(const std::vector<net::ProcessId>& ids) {
   return out;
 }
 
-FaultEvent parse_event(std::string_view event_text) {
-  const std::vector<std::string> toks = tokenize(event_text);
-  if (toks.empty()) fail("empty event", event_text);
+FaultEvent parse_event(std::string_view event_text, std::size_t base) {
+  const std::vector<Tok> toks = tokenize(event_text, base);
+  if (toks.empty()) fail("empty event", event_text, base);
   FaultEvent e;
-  const std::string& verb = toks[0];
+  const std::string& verb = toks[0].text;
   if (verb == "crash" || verb == "recover") {
     e.kind = verb == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
-    if (toks.size() != 3) fail("expected '" + verb + " p<id> @<time>'", event_text);
+    if (toks.size() != 3)
+      fail("expected '" + verb + " p<id> @<time>'", event_text, toks[0].pos);
     e.process = parse_pid(toks[1], event_text);
     e.at = parse_at(toks[2], event_text);
     return e;
   }
   if (verb == "partition") {
     e.kind = FaultKind::kPartition;
-    if (toks.size() != 5 || toks[3] != "heal")
-      fail("expected 'partition {ids|ids} @<time> heal @<time>'", event_text);
+    if (toks.size() != 5 || toks[3].text != "heal")
+      fail("expected 'partition {ids|ids} @<time> heal @<time>'", event_text, toks[0].pos);
     e.groups = parse_groups(toks[1], event_text);
     e.at = parse_at(toks[2], event_text);
     e.until = parse_at(toks[4], event_text);
-    if (e.until < e.at) fail("heal time precedes the partition", event_text);
+    if (e.until < e.at) fail("heal time precedes the partition", event_text, toks[4].pos);
     return e;
   }
   if (verb == "apartition") {
     e.kind = FaultKind::kAsymPartition;
-    if (toks.size() != 5 || toks[3] != "heal")
-      fail("expected 'apartition p<i>,..->p<j>,.. @<time> heal @<time>'", event_text);
-    const std::string& link = toks[1];
-    const std::size_t arrow = link.find("->");
-    if (arrow == std::string::npos || arrow == 0 || arrow + 2 >= link.size())
-      fail("expected '<senders>-><destinations>', got '" + link + "'", event_text);
-    e.groups.push_back(parse_pid_list(link.substr(0, arrow), event_text));
-    e.groups.push_back(parse_pid_list(link.substr(arrow + 2), event_text));
+    if (toks.size() != 5 || toks[3].text != "heal")
+      fail("expected 'apartition p<i>,..->p<j>,.. @<time> heal @<time>'", event_text,
+           toks[0].pos);
+    e.groups = parse_link(toks[1], event_text);
     e.at = parse_at(toks[2], event_text);
     e.until = parse_at(toks[4], event_text);
-    if (e.until < e.at) fail("heal time precedes the cut", event_text);
+    if (e.until < e.at) fail("heal time precedes the cut", event_text, toks[4].pos);
     return e;
   }
   if (verb == "loss") {
     e.kind = FaultKind::kLoss;
-    if (toks.size() != 5) fail("expected 'loss <rate> @<time> for <duration>'", event_text);
+    if (toks.size() != 5)
+      fail("expected 'loss <rate> @<time> for <duration>'", event_text, toks[0].pos);
     e.rate = parse_number(toks[1], event_text);
-    if (e.rate < 0.0 || e.rate > 1.0) fail("loss rate must be in [0, 1]", event_text);
+    if (e.rate < 0.0 || e.rate > 1.0)
+      fail("loss rate must be in [0, 1]", event_text, toks[1].pos, toks[1].text);
     parse_window(toks, 2, e, event_text);
     return e;
   }
   if (verb == "delay") {
     e.kind = FaultKind::kDelaySpike;
-    if (toks.size() != 5 || toks[1].empty() || toks[1][0] != 'x')
-      fail("expected 'delay x<factor> @<time> for <duration>'", event_text);
-    e.factor = parse_number(toks[1].substr(1), event_text);
-    if (e.factor <= 0) fail("delay factor must be positive", event_text);
+    if (toks.size() != 5)
+      fail("expected 'delay x<factor> @<time> for <duration>'", event_text, toks[0].pos);
+    e.factor = parse_factor(toks[1], event_text);
+    if (e.factor <= 0)
+      fail("delay factor must be positive", event_text, toks[1].pos, toks[1].text);
     parse_window(toks, 2, e, event_text);
     return e;
   }
   if (verb == "storm") {
     e.kind = FaultKind::kSuspicionStorm;
-    if (toks.size() != 5) fail("expected 'storm p<id>,... @<time> for <duration>'", event_text);
+    if (toks.size() != 5)
+      fail("expected 'storm p<id>,... @<time> for <duration>'", event_text, toks[0].pos);
     e.accused = parse_pid_list(toks[1], event_text);
     parse_window(toks, 2, e, event_text);
     return e;
   }
-  fail("unknown fault kind '" + verb + "'", event_text);
+  if (verb == "limp" || verb == "drift") {
+    e.kind = verb == "limp" ? FaultKind::kLimp : FaultKind::kDrift;
+    if (toks.size() != 6)
+      fail("expected '" + verb + " p<id> x<factor> @<time> for <duration>'", event_text,
+           toks[0].pos);
+    e.process = parse_pid(toks[1], event_text);
+    e.factor = parse_factor(toks[2], event_text);
+    if (e.factor <= 0)
+      fail(verb + " factor must be positive", event_text, toks[2].pos, toks[2].text);
+    parse_window(toks, 3, e, event_text);
+    return e;
+  }
+  if (verb == "flap") {
+    e.kind = FaultKind::kFlap;
+    if (toks.size() != 9 || toks[2].text != "period" || toks[4].text != "duty")
+      fail(
+          "expected 'flap p<i>,..->p<j>,.. period <len> duty <frac> @<time> for "
+          "<duration>'",
+          event_text, toks[0].pos);
+    e.groups = parse_link(toks[1], event_text);
+    e.period = parse_number(toks[3], event_text);
+    if (e.period <= 0) fail("flap period must be positive", event_text, toks[3].pos, toks[3].text);
+    e.duty = parse_number(toks[5], event_text);
+    if (e.duty < 0.0 || e.duty > 1.0)
+      fail("flap duty must be in [0, 1]", event_text, toks[5].pos, toks[5].text);
+    parse_window(toks, 6, e, event_text);
+    return e;
+  }
+  if (verb == "corrupt") {
+    e.kind = FaultKind::kCorrupt;
+    // Optional directed-link restriction between the rate and the window.
+    if (toks.size() != 5 && toks.size() != 6)
+      fail("expected 'corrupt <rate> [p<i>,..->p<j>,..] @<time> for <duration>'", event_text,
+           toks[0].pos);
+    e.rate = parse_number(toks[1], event_text);
+    if (e.rate < 0.0 || e.rate > 1.0)
+      fail("corruption rate must be in [0, 1]", event_text, toks[1].pos, toks[1].text);
+    std::size_t from = 2;
+    if (toks.size() == 6) {
+      e.groups = parse_link(toks[2], event_text);
+      from = 3;
+    }
+    parse_window(toks, from, e, event_text);
+    return e;
+  }
+  fail("unknown fault kind", event_text, toks[0].pos, toks[0].text);
 }
 
 }  // namespace
@@ -249,7 +346,7 @@ FaultSchedule FaultSchedule::parse(std::string_view text) {
     if (semi == std::string_view::npos) semi = text.size();
     const std::string_view event_text = text.substr(start, semi - start);
     const bool blank = event_text.find_first_not_of(" \t\r\n") == std::string_view::npos;
-    if (!blank) s.add(parse_event(event_text));
+    if (!blank) s.add(parse_event(event_text, start));
     if (semi == text.size()) break;
     start = semi + 1;
   }
@@ -294,6 +391,24 @@ std::string FaultSchedule::to_string() const {
       case FaultKind::kSuspicionStorm:
         out += "storm " + format_pid_list(e.accused) + " @" + format_number(e.at) + " for " +
                format_number(e.until - e.at);
+        break;
+      case FaultKind::kLimp:
+      case FaultKind::kDrift:
+        out += fault_kind_name(e.kind);
+        out += " p" + std::to_string(e.process) + " x" + format_number(e.factor) + " @" +
+               format_number(e.at) + " for " + format_number(e.until - e.at);
+        break;
+      case FaultKind::kFlap:
+        out += "flap " + format_pid_list(e.groups.at(0)) + "->" +
+               format_pid_list(e.groups.at(1)) + " period " + format_number(e.period) +
+               " duty " + format_number(e.duty) + " @" + format_number(e.at) + " for " +
+               format_number(e.until - e.at);
+        break;
+      case FaultKind::kCorrupt:
+        out += "corrupt " + format_number(e.rate);
+        if (!e.groups.empty())
+          out += " " + format_pid_list(e.groups.at(0)) + "->" + format_pid_list(e.groups.at(1));
+        out += " @" + format_number(e.at) + " for " + format_number(e.until - e.at);
         break;
     }
   }

@@ -24,6 +24,29 @@
 //   storm p1,p2 @1000 for 50      every alive process wrongly suspects
 //                                 p1 and p2 in [1000, 1050)
 //
+// Gray failures (degraded-but-alive, the regime where FD-driven and
+// GM-driven ordering react differently):
+//
+//   limp p3 x4 @1000 for 2000     p3's CPU service times are stretched
+//                                 ×4 in [1000, 3000) — the process is
+//                                 alive and replying, just slowly
+//   flap p0->p2 period 40 duty 0.5 @1000 for 2000
+//                                 the directed link p0->p2 cycles
+//                                 up/down deterministically: each 40 ms
+//                                 period starts with 20 ms up (duty
+//                                 0.5), then holds messages until the
+//                                 next up phase (or the window's end)
+//   drift p1 x0.8 @1000 for 2000  p1's local clock runs at 0.8× real
+//                                 rate in [1000, 3000): its heartbeats
+//                                 and FD renewal timers fire late
+//   corrupt 0.01 @1000 for 2000   1% of point-to-point deliveries are
+//                                 silently corrupted in transit; frame
+//                                 checksums detect and drop them (the
+//                                 transport's NACK path recovers)
+//   corrupt 0.05 p0,p1->p2 @1000 for 2000
+//                                 same, restricted to the listed
+//                                 directed links
+//
 // Events are separated by ';'.  `to_string()` emits the canonical form of
 // the same grammar, so schedules round-trip through parse().
 #pragma once
@@ -45,6 +68,10 @@ enum class FaultKind {
   kLoss,            // drop each delivery with probability `rate` in [at, until)
   kDelaySpike,      // multiply the network service time by `factor` in [at, until)
   kSuspicionStorm,  // force every alive monitor to suspect `accused` in [at, until)
+  kLimp,            // stretch `process`'s CPU service times by `factor` in [at, until)
+  kFlap,            // cycle links groups[0] -> groups[1] up/down (period, duty) in [at, until)
+  kDrift,           // run `process`'s local clock at `factor`× real rate in [at, until)
+  kCorrupt,         // corrupt each matching delivery with probability `rate` in [at, until)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -62,10 +89,16 @@ struct FaultEvent {
   /// exactly two groups: groups[0] = senders whose links are cut,
   /// groups[1] = the unreachable destinations.
   std::vector<std::vector<net::ProcessId>> groups;
-  /// Per-delivery drop probability in [0, 1] (loss).
+  /// Per-delivery drop probability in [0, 1] (loss), or per-delivery
+  /// corruption probability (corrupt).
   double rate = 0.0;
-  /// Network service-time multiplier (delay spike), > 0.
+  /// Network service-time multiplier (delay spike), CPU service-time
+  /// stretch (limp), or local clock rate (drift) — all > 0.
   double factor = 1.0;
+  /// Flap cycle length in sim time (> 0) and the up fraction of each
+  /// cycle in [0, 1]; duty >= 1 means the link never goes down.
+  double period = 0.0;
+  double duty = 1.0;
   /// Processes wrongly suspected by every alive monitor (storm).
   std::vector<net::ProcessId> accused;
 

@@ -1,5 +1,9 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
+
+#include "obs/observer.hpp"
+
 namespace fdgm::fault {
 
 Injector::Injector(net::System& sys, fd::QosFailureDetectorModel* fd_model,
@@ -8,11 +12,22 @@ Injector::Injector(net::System& sys, fd::QosFailureDetectorModel* fd_model,
       fd_model_(fd_model),
       schedule_(std::move(schedule)),
       restart_hook_(std::move(on_restart)),
-      rng_(sys.rng().fork("fault-injector")) {}
+      rng_(sys.rng().fork("fault-injector")),
+      limp_gen_(static_cast<std::size_t>(sys.n()), 0),
+      drift_gen_(static_cast<std::size_t>(sys.n()), 0) {}
 
 void Injector::arm() {
   if (armed_) return;
   armed_ = true;
+  // Corruption needs the digest on *every* frame in flight when its
+  // window opens, so checksums are latched for the whole run up front —
+  // schedules without a corrupt event never stamp and stay bit-identical
+  // to a build without the machinery.
+  for (const FaultEvent& e : schedule_.events())
+    if (e.kind == FaultKind::kCorrupt) {
+      sys_->network().enable_checksums();
+      break;
+    }
   for (const FaultEvent& e : schedule_.events())
     sys_->scheduler().schedule_at(e.at, [this, &e] { fire(e); });
 }
@@ -104,8 +119,106 @@ void Injector::fire(const FaultEvent& e) {
           if (q != p && !sys_->node(q).crashed()) fd_model_->inject_suspicion(q, p, e.until);
       break;
     }
+
+    case FaultKind::kLimp: {
+      if (!valid_pid(e.process)) {
+        ++skipped_;
+        return;
+      }
+      // Both faces of a limping node: its CPU serves every job slower
+      // (protocol processing, send/receive pipeline stages) and — when an
+      // FD model is attached — its heartbeat handling degrades the QoS
+      // parameters of every pair involving it.
+      sys_->network().set_cpu_limp(e.process, e.factor);
+      if (fd_model_ != nullptr) fd_model_->set_limp_factor(e.process, e.factor);
+      if (auto* o = sys_->obs()) o->count(e.process, obs::Counter::kLimpWindows, sys_->now());
+      const std::uint64_t gen = ++limp_gen_[static_cast<std::size_t>(e.process)];
+      sys_->scheduler().schedule_at(e.until, [this, p = e.process, gen] {
+        if (gen != limp_gen_[static_cast<std::size_t>(p)]) return;
+        sys_->network().set_cpu_limp(p, 1.0);
+        if (fd_model_ != nullptr) fd_model_->set_limp_factor(p, 1.0);
+      });
+      break;
+    }
+
+    case FaultKind::kDrift: {
+      if (!valid_pid(e.process)) {
+        ++skipped_;
+        return;
+      }
+      // Clock drift only skews timer behavior, which lives in the FD
+      // model; a network-only simulation has no clocks to skew.
+      if (fd_model_ == nullptr) {
+        ++skipped_;
+        return;
+      }
+      fd_model_->set_clock_rate(e.process, e.factor);
+      if (auto* o = sys_->obs()) o->count(e.process, obs::Counter::kDriftWindows, sys_->now());
+      const std::uint64_t gen = ++drift_gen_[static_cast<std::size_t>(e.process)];
+      sys_->scheduler().schedule_at(e.until, [this, p = e.process, gen] {
+        if (gen != drift_gen_[static_cast<std::size_t>(p)]) return;
+        fd_model_->set_clock_rate(p, 1.0);
+      });
+      break;
+    }
+
+    case FaultKind::kFlap: {
+      for (const auto& group : e.groups)
+        for (net::ProcessId p : group)
+          if (!valid_pid(p)) {
+            ++skipped_;
+            return;
+          }
+      // duty >= 1 means the link never goes down: schedule nothing, so a
+      // degenerate flap adds zero transitions (and zero events beyond
+      // this one).  Each cycle starts with its up phase; the first down
+      // transition lands at at + duty * period.
+      if (e.duty < 1.0) {
+        const sim::Time first_down = e.at + e.duty * e.period;
+        if (first_down < e.until)
+          sys_->scheduler().schedule_at(first_down, [this, &e] { flap_down_step(e, 0); });
+      }
+      break;
+    }
+
+    case FaultKind::kCorrupt: {
+      if (!e.groups.empty())
+        for (const auto& group : e.groups)
+          for (net::ProcessId p : group)
+            if (!valid_pid(p)) {
+              ++skipped_;
+              return;
+            }
+      sys_->network().set_corrupt(e.rate, &rng_, e.groups);
+      const std::uint64_t gen = ++corrupt_gen_;
+      sys_->scheduler().schedule_at(e.until, [this, gen] {
+        if (gen == corrupt_gen_) sys_->network().clear_corrupt();
+      });
+      break;
+    }
   }
   ++fired_;
+}
+
+void Injector::flap_down_step(const FaultEvent& e, std::uint64_t cycle) {
+  sys_->network().set_flap_down(e.groups.at(0), e.groups.at(1));
+  if (auto* o = sys_->obs())
+    o->count(e.groups[0].front(), obs::Counter::kFlapTransitions, sys_->now());
+  // The down phase ends at the next cycle boundary, clipped to the
+  // window's end — a flap window never leaves a link down behind.
+  const sim::Time up =
+      std::min(e.at + static_cast<double>(cycle + 1) * e.period, e.until);
+  sys_->scheduler().schedule_at(up, [this, &e, cycle] { flap_up_step(e, cycle); });
+}
+
+void Injector::flap_up_step(const FaultEvent& e, std::uint64_t cycle) {
+  sys_->network().set_flap_up(e.groups.at(0), e.groups.at(1));
+  if (auto* o = sys_->obs())
+    o->count(e.groups[0].front(), obs::Counter::kFlapTransitions, sys_->now());
+  const sim::Time next_down =
+      e.at + static_cast<double>(cycle + 1) * e.period + e.duty * e.period;
+  if (next_down < e.until)
+    sys_->scheduler().schedule_at(next_down, [this, &e, c = cycle + 1] { flap_down_step(e, c); });
 }
 
 }  // namespace fdgm::fault

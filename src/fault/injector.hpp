@@ -22,6 +22,25 @@
 //   SuspicionStorm -> fd::QosFailureDetectorModel::inject_suspicion for
 //                     every alive (monitor, accused) pair
 //
+// Gray failures (degraded-but-alive):
+//
+//   Limp           -> net::Network::set_cpu_limp (CPU service stretch) +
+//                     fd::QosFailureDetectorModel::set_limp_factor (late
+//                     heartbeat processing); both reset at the window end
+//   Flap           -> a deterministic chain of link down/up transitions
+//                     (net::Network::set_flap_down/up) computed from the
+//                     event's period and duty cycle — no RNG, so the
+//                     up/down pattern is identical across backends and
+//                     job counts.  duty >= 1 schedules nothing.
+//   Drift          -> fd::QosFailureDetectorModel::set_clock_rate (the
+//                     node's heartbeat/renewal timers run fast or slow);
+//                     reset at the window end
+//   Corrupt        -> net::Network::set_corrupt, drawing from the same
+//                     private RNG sub-stream as loss.  arm() pre-scans
+//                     the schedule: any corrupt event latches frame
+//                     checksums on for the whole run, so every in-flight
+//                     frame a receiver verifies carries a digest.
+//
 // Events that reference a process id outside 0..n-1 are skipped (and
 // counted), so one schedule can be applied across sweeps with varying n —
 // the fdgm_bench --faults flag relies on this.
@@ -29,6 +48,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "fault/fault_schedule.hpp"
 #include "fd/qos_model.hpp"
@@ -62,6 +82,10 @@ class Injector {
 
  private:
   void fire(const FaultEvent& e);
+  /// One down / up transition of a flap event's deterministic chain;
+  /// `cycle` counts full periods since the window opened.
+  void flap_down_step(const FaultEvent& e, std::uint64_t cycle);
+  void flap_up_step(const FaultEvent& e, std::uint64_t cycle);
   [[nodiscard]] bool valid_pid(net::ProcessId p) const {
     return p >= 0 && p < sys_->n();
   }
@@ -81,6 +105,12 @@ class Injector {
   std::uint64_t apartition_gen_ = 0;
   std::uint64_t loss_gen_ = 0;
   std::uint64_t delay_gen_ = 0;
+  std::uint64_t corrupt_gen_ = 0;
+  /// Per-node generations for the windowed per-node gray kinds (limp,
+  /// drift): overlapping windows on the *same* node are last-writer-wins,
+  /// windows on different nodes are independent.
+  std::vector<std::uint64_t> limp_gen_;
+  std::vector<std::uint64_t> drift_gen_;
 };
 
 }  // namespace fdgm::fault

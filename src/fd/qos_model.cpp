@@ -22,6 +22,8 @@ QosFailureDetectorModel::QosFailureDetectorModel(net::System& sys, QosParams par
   // Pair engines are forked lazily on first draw (see pair_draw): eagerly
   // seeding n^2 mt19937_64 engines dominated setup at large n.
   pairs_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  clock_rate_.assign(static_cast<std::size_t>(n), 1.0);
+  limp_.assign(static_cast<std::size_t>(n), 1.0);
 
   sys.add_crash_listener([this](net::ProcessId p, sim::Time t) { on_crash(p, t); });
   sys.add_recovery_listener([this](net::ProcessId p, sim::Time t) { on_recover(p, t); });
@@ -63,7 +65,7 @@ void QosFailureDetectorModel::on_crash(net::ProcessId p, sim::Time when) {
     if (q == p) continue;
     // Owned by the monitor q: the detection event only touches q's pair
     // row and q's module, so it runs on q's partition under kParallel.
-    sys_->scheduler().schedule_at_owned(q, when + params_.detection_time, [this, q, p] {
+    sys_->scheduler().schedule_at_owned(q, when + detect_delay(q), [this, q, p] {
       PairState& st = pair(q, p);
       // Monitors observe p's state with lag TD: the heartbeat gap of the
       // crash is seen even when p restarted in the meantime.  A still-dead
@@ -87,9 +89,9 @@ void QosFailureDetectorModel::on_recover(net::ProcessId p, sim::Time when) {
     // recovery is detected; stretch the pair's window so that a mistake
     // release scheduled earlier cannot end it prematurely.
     PairState& st = pair(q, p);
-    if (st.suspect_until < when + params_.detection_time)
-      st.suspect_until = when + params_.detection_time;
-    sys_->scheduler().schedule_at_owned(q, when + params_.detection_time,
+    if (st.suspect_until < when + detect_delay(q))
+      st.suspect_until = when + detect_delay(q);
+    sys_->scheduler().schedule_at_owned(q, when + detect_delay(q),
                                         [this, q, p, incarnation] {
       // Re-crashed (or restarted again) in the meantime: this detection is
       // void; the newer crash/recovery drives the pair's state.
@@ -154,7 +156,14 @@ void QosFailureDetectorModel::schedule_release(net::ProcessId q, net::ProcessId 
 
 void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::ProcessId p,
                                                     sim::Time from) {
-  const double gap = pair_draw(pair(q, p), q, p, params_.mistake_recurrence);
+  // A slow target clock / limping target makes wrong suspicions of it
+  // more frequent; so does a fast monitor clock (see the header comment).
+  // Scaling the drawn value (not the mean) keeps engine consumption
+  // identical — the draw-count replay of lazy PairState stays valid.
+  const double gap = pair_draw(pair(q, p), q, p, params_.mistake_recurrence) *
+                     (clock_rate_[static_cast<std::size_t>(p)] /
+                      (clock_rate_[static_cast<std::size_t>(q)] *
+                       limp_[static_cast<std::size_t>(p)]));
   const std::uint64_t epoch = pair(q, p).epoch;
   sys_->scheduler().schedule_at_owned(q, from + gap, [this, q, p, epoch] {
     PairState& st = pair(q, p);
@@ -165,7 +174,12 @@ void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::Proce
     if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
 
     const sim::Time start = sys_->now();
-    const double duration = pair_draw(st, q, p, params_.mistake_duration);
+    // A limping / slow-clocked target stays wrongly suspected longer (its
+    // next heartbeat is late); a fast monitor clock clears sooner.
+    const double duration = pair_draw(st, q, p, params_.mistake_duration) *
+                            (limp_[static_cast<std::size_t>(p)] /
+                             (clock_rate_[static_cast<std::size_t>(p)] *
+                              clock_rate_[static_cast<std::size_t>(q)]));
     if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, start);
     at(q).set_suspected(p, true);
 
@@ -175,6 +189,18 @@ void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::Proce
 
     schedule_next_mistake(q, p, start);
   });
+}
+
+void QosFailureDetectorModel::set_clock_rate(net::ProcessId p, double rate) {
+  if (!(rate > 0))
+    throw std::invalid_argument("QosFailureDetectorModel: clock rate must be > 0");
+  clock_rate_.at(static_cast<std::size_t>(p)) = rate;
+}
+
+void QosFailureDetectorModel::set_limp_factor(net::ProcessId p, double factor) {
+  if (!(factor > 0))
+    throw std::invalid_argument("QosFailureDetectorModel: limp factor must be > 0");
+  limp_.at(static_cast<std::size_t>(p)) = factor;
 }
 
 }  // namespace fdgm::fd

@@ -16,6 +16,26 @@
 // suspicion storms) through inject_suspicion(); forced suspicions share
 // the mistake-release bookkeeping, so overlapping storms and renewal
 // mistakes extend each other instead of releasing early.
+//
+// Gray failures modulate the QoS parameters per node (set_clock_rate /
+// set_limp_factor, driven by the Injector's drift and limp windows):
+//
+//  * a drifted node's clock runs at `rate`× real speed.  A slow *target*
+//    (rate < 1) sends heartbeats late, so monitors wrongly suspect it
+//    more often (TMR ×rate) and for longer (TM /rate); a fast *monitor*
+//    times out early, suspecting everyone more often (TMR /rate) but
+//    clearing sooner (TM /rate), and detects crashes/recoveries sooner
+//    (TD /rate);
+//  * a limping node's heartbeat send/receive processing queues behind
+//    its stretched CPU: as a target it looks like a slow clock (TMR
+//    /factor, TM ×factor), as a monitor it detects late (TD ×factor).
+//
+// All factors default to 1.0, and the scalings are pure multiplies /
+// divides — exactly neutral at 1.0 (x * 1.0 == x bit-for-bit) and
+// consuming no extra RNG draws, so a schedule without gray events
+// reproduces the golden hashes unchanged.  Already-scheduled renewal
+// events keep their original times; draws made after a window opens see
+// the new factors (the same lag semantics as the CPU stretch).
 #pragma once
 
 #include <memory>
@@ -52,6 +72,17 @@ class QosFailureDetectorModel {
   /// or a later storm extended the window.
   void inject_suspicion(net::ProcessId q, net::ProcessId p, sim::Time until);
 
+  /// Gray-failure knobs (see the header comment).  1.0 = nominal, exactly
+  /// neutral.  Both must be > 0.
+  void set_clock_rate(net::ProcessId p, double rate);
+  void set_limp_factor(net::ProcessId p, double factor);
+  [[nodiscard]] double clock_rate(net::ProcessId p) const {
+    return clock_rate_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] double limp_factor(net::ProcessId p) const {
+    return limp_.at(static_cast<std::size_t>(p));
+  }
+
  private:
   /// Per ordered pair (q monitors p).  The pair's RNG engine is lazy:
   /// constructing n^2 mt19937_64 engines up front dominated setup time at
@@ -78,6 +109,12 @@ class QosFailureDetectorModel {
   void schedule_release(net::ProcessId q, net::ProcessId p, sim::Time until);
   /// (Re)start the renewal chain of (q, p) from `from`.
   void restart_renewal(net::ProcessId q, net::ProcessId p, sim::Time from);
+  /// Monitor q's effective crash/recovery detection delay:
+  /// TD × limp(q) / clock_rate(q).
+  [[nodiscard]] double detect_delay(net::ProcessId q) const {
+    return params_.detection_time * limp_.at(static_cast<std::size_t>(q)) /
+           clock_rate_.at(static_cast<std::size_t>(q));
+  }
   PairState& pair(net::ProcessId q, net::ProcessId p);
   /// Exponential variate from (q, p)'s lazily materialized sub-stream.
   double pair_draw(PairState& st, net::ProcessId q, net::ProcessId p, double mean);
@@ -89,6 +126,9 @@ class QosFailureDetectorModel {
   sim::Rng base_;
   std::vector<std::unique_ptr<FailureDetector>> fds_;
   std::vector<PairState> pairs_;  // n*n, row = monitor q, col = target p
+  /// Per-node gray factors (1.0 = nominal; see the header comment).
+  std::vector<double> clock_rate_;
+  std::vector<double> limp_;
   bool started_ = false;
 };
 

@@ -81,14 +81,20 @@ class BlankPayload final : public Payload {
 /// `seq` holds the frame's sequence number in the ordered (src, dst)
 /// channel in its low 31 bits — 0 means "not a sequenced frame" — and a
 /// retransmission flag in the top bit; `ack` piggybacks the sender's
-/// cumulative ack for the reverse channel.  Kept to two words so Messages
-/// captured in scheduler-slab callbacks still fit the inline buffer.
+/// cumulative ack for the reverse channel; `check` carries the frame
+/// digest stamped in the wire fan-out event whenever the corruption
+/// fault can fire (Network::checksums_enabled) — the `corrupt` gray
+/// fault damages it in transit and receivers that re-derive the digest
+/// detect the mismatch and drop the frame.  Kept to 12 bytes so a
+/// Message stays at 32 and still fits the scheduler slab's inline
+/// callback buffer when captured by value.
 struct FrameHeader {
   static constexpr std::uint32_t kRetxBit = 0x80000000u;
   static constexpr std::uint32_t kSeqMask = 0x7fffffffu;
 
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
+  std::uint8_t check = 0;
 
   [[nodiscard]] std::uint32_t seq_no() const { return seq & kSeqMask; }
   [[nodiscard]] bool is_retx() const { return (seq & kRetxBit) != 0; }
@@ -99,9 +105,37 @@ struct Message {
   ProcessId src = 0;
   ProcessId dst = 0;  // kBroadcast for multicast
   ProtocolId proto = ProtocolId::kApplication;
-  PayloadPtr payload = nullptr;
   FrameHeader frame;
+  PayloadPtr payload = nullptr;
 };
+
+/// Digest of the fields that are invariant from stamping (wire fan-out)
+/// to verification (transport receive / final delivery): source, protocol,
+/// payload tag and channel sequence number — everything that identifies
+/// the frame's content in this simulation, excluding the mutable header
+/// bits (retx flag, piggybacked ack, destination).  One multiply-xor
+/// round per field; any single-field change flips the result.
+[[nodiscard]] inline std::uint8_t frame_digest(const Message& m) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src)));
+  mix(static_cast<std::uint64_t>(m.proto));
+  mix(m.payload != nullptr ? static_cast<std::uint64_t>(m.payload->payload_kind()) + 1 : 0);
+  mix(m.frame.seq_no());
+  h ^= h >> 33;
+  return static_cast<std::uint8_t>(h ^ (h >> 8) ^ (h >> 16) ^ (h >> 24));
+}
+
+/// Does the frame's stamped digest match its content?  Only meaningful
+/// when checksums are armed — stamping happens in the same wire event
+/// that filters the delivery, so every frame that reaches a receiver
+/// while the corruption machinery is armed carries a digest.
+[[nodiscard]] inline bool frame_checksum_ok(const Message& m) {
+  return m.frame.check == frame_digest(m);
+}
 
 /// Tag-checked downcast: returns nullptr when the payload has a different
 /// (protocol, kind) tag.

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/observer.hpp"
 #include "sim/exec_ctx.hpp"
 
 namespace fdgm::net {
@@ -103,9 +104,13 @@ void Network::on_wire_done(const Message& m, std::uint32_t list) {
   // sequence number lives in the ordered-pair channel, so it cannot be
   // shared across the fan-out).
   for (ProcessId d : list_ref(list).dsts) {
-    if (frame_stage_ != nullptr) {
+    if (frame_stage_ != nullptr || checksums_enabled_) {
       Message f = m;
-      frame_stage_->stamp_frame(f, d);
+      if (frame_stage_ != nullptr) frame_stage_->stamp_frame(f, d);
+      // Digest-stamp after the transport assigned the sequence number so
+      // the checksum covers it; only runs when a corrupt event armed
+      // checksums for this run.
+      if (checksums_enabled_) f.frame.check = frame_digest(f);
       filter_or_deliver(f, d);
     } else {
       filter_or_deliver(m, d);
@@ -114,12 +119,13 @@ void Network::on_wire_done(const Message& m, std::uint32_t list) {
   release_list(list);
 }
 
-/// The fault-filter stage proper: hold across a partition (symmetric or
-/// directed), drop with the loss probability, else enqueue the
-/// receive-side CPU job.  Also applied to messages re-injected by a heal,
-/// so a heal inside a loss window does not bypass the loss model.
+/// The fault-filter stage proper: hold across a partition (symmetric,
+/// directed, or flapped down), drop with the loss probability, corrupt
+/// with the corruption probability, else enqueue the receive-side CPU
+/// job.  Also applied to messages re-injected by a heal, so a heal inside
+/// a loss or corruption window does not bypass those models.
 void Network::filter_or_deliver(const Message& m, ProcessId d) {
-  if (partitioned(m.src, d) || asym_cut(m.src, d)) {
+  if (partitioned(m.src, d) || asym_cut(m.src, d) || flap_blocked(m.src, d)) {
     held_.emplace_back(m, d);
     ++held_total_;
     return;
@@ -127,6 +133,19 @@ void Network::filter_or_deliver(const Message& m, ProcessId d) {
   if (loss_rate_ > 0.0 && loss_rng_ != nullptr && loss_rng_->uniform() < loss_rate_) {
     ++lost_;
     if (frame_stage_ != nullptr) frame_stage_->frame_dropped(m, d);
+    return;
+  }
+  if (corrupt_active() && corrupt_match(m.src, d) && corrupt_rng_->uniform() < corrupt_rate_) {
+    // Damage the frame in transit: the checksum no longer matches, so the
+    // receiver detects and drops it.  The transport must learn it needs a
+    // retransmittable copy (the frame may have been stamped before the
+    // corruption window opened, hence never ring-buffered) — report the
+    // *clean* frame as dropped, exactly like the loss path.
+    Message damaged = m;
+    damaged.frame.check ^= 0xA5;
+    ++corrupted_;
+    if (frame_stage_ != nullptr) frame_stage_->frame_dropped(m, d);
+    deliver_via_cpu(damaged, d);
     return;
   }
   deliver_via_cpu(m, d);
@@ -144,6 +163,17 @@ void Network::deliver_via_cpu(const Message& m, ProcessId d) {
 
 void Network::finish_delivery(Message m, ProcessId d) {
   m.dst = d;
+  // Checksum verify for the transport-less configuration: the receive
+  // stack has no repair path, so a damaged frame is simply detected,
+  // counted and dropped (the delivery is lost — protocols see it like
+  // message loss, but the corruption never reaches them silently).  With
+  // a transport armed, verification lives in its receive path instead,
+  // where the NACK machinery recovers the frame.
+  if (checksums_enabled_ && frame_stage_ == nullptr && !frame_checksum_ok(m)) {
+    corrupt_detected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_ != nullptr) obs_->count(d, obs::Counter::kCorruptionDetected, sched_->now());
+    return;
+  }
   delivered_.fetch_add(1, std::memory_order_relaxed);
   if (tap_ && !sim::stage_effect<&Network::invoke_tap>(this, m, d)) tap_(m, d);
   sink_->deliver_message(m, d);
@@ -224,6 +254,74 @@ void Network::set_loss(double rate, sim::Rng* rng) {
 void Network::set_delay_factor(double factor) {
   if (factor <= 0.0) throw std::invalid_argument("Network::set_delay_factor: factor must be > 0");
   delay_factor_ = factor;
+}
+
+void Network::set_cpu_limp(ProcessId p, double factor) {
+  if (p < 0 || p >= num_processes())
+    throw std::out_of_range("Network::set_cpu_limp: bad process id");
+  cpus_[static_cast<std::size_t>(p)]->set_stretch(factor);
+}
+
+void Network::set_flap_down(const std::vector<ProcessId>& from,
+                            const std::vector<ProcessId>& to) {
+  for (ProcessId p : from)
+    if (p < 0 || p >= num_processes())
+      throw std::out_of_range("Network::set_flap_down: bad process id");
+  for (ProcessId p : to)
+    if (p < 0 || p >= num_processes())
+      throw std::out_of_range("Network::set_flap_down: bad process id");
+  const std::size_t n = cpus_.size();
+  if (flap_down_.empty()) flap_down_.assign(n * n, 0);
+  for (ProcessId a : from)
+    for (ProcessId b : to)
+      if (a != b) ++flap_down_[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)];
+}
+
+void Network::set_flap_up(const std::vector<ProcessId>& from,
+                          const std::vector<ProcessId>& to) {
+  if (flap_down_.empty()) return;
+  const std::size_t n = cpus_.size();
+  for (ProcessId a : from) {
+    if (a < 0 || a >= num_processes())
+      throw std::out_of_range("Network::set_flap_up: bad process id");
+    for (ProcessId b : to) {
+      if (b < 0 || b >= num_processes())
+        throw std::out_of_range("Network::set_flap_up: bad process id");
+      std::uint16_t& down = flap_down_[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)];
+      if (a != b && down > 0) --down;
+    }
+  }
+  // Links that just came up release their held messages (re-held if a
+  // partition or another flap window still blocks them).
+  refilter_held();
+}
+
+void Network::set_corrupt(double rate, sim::Rng* rng,
+                          const std::vector<std::vector<ProcessId>>& link) {
+  if (rate < 0.0 || rate > 1.0) throw std::invalid_argument("Network::set_corrupt: bad rate");
+  if (!link.empty() && link.size() != 2)
+    throw std::invalid_argument("Network::set_corrupt: link wants {senders, destinations}");
+  corrupt_link_.clear();
+  if (!link.empty()) {
+    const std::size_t n = cpus_.size();
+    corrupt_link_.assign(n * n, 0);
+    for (ProcessId a : link[0])
+      for (ProcessId b : link[1]) {
+        if (a < 0 || a >= num_processes() || b < 0 || b >= num_processes())
+          throw std::out_of_range("Network::set_corrupt: bad process id");
+        if (a != b)
+          corrupt_link_[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)] = 1;
+      }
+  }
+  corrupt_rate_ = rate;
+  corrupt_rng_ = rate > 0.0 ? rng : nullptr;
+  if (corrupt_active() && frame_stage_ != nullptr) serialize_deliveries_ = true;
+}
+
+void Network::clear_corrupt() {
+  corrupt_rate_ = 0.0;
+  corrupt_rng_ = nullptr;
+  corrupt_link_.clear();
 }
 
 }  // namespace fdgm::net

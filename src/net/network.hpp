@@ -28,13 +28,29 @@
 //   * asymmetric partition — a directed cut: messages from the `from` set
 //     to the `to` set are held while the reverse direction flows normally
 //     (one-way link failures);
+//   * flap — a time-varying directed cut: links cycled down by a flap
+//     schedule hold messages exactly like an asymmetric partition and
+//     release them at the next up transition (deterministic, no RNG —
+//     the up/down pattern is fully determined by the schedule);
 //   * loss — each remaining delivery is dropped independently with a
 //     configurable probability (the "partial multicast loss" model
 //     variant; protocols tolerate it only via their repair paths);
+//   * corrupt — each remaining delivery on a matching link is silently
+//     damaged in transit with a configurable probability: its frame
+//     checksum no longer matches its content, so the receiver (the
+//     transport's verify, or final delivery when no transport is armed)
+//     detects the mismatch and drops the frame;
 //   * delay spike — the shared medium's service time is multiplied by a
 //     factor while the spike is active.
 // Self-destined loopback copies bypass the filter (a process can always
 // reach itself).
+//
+// Frame checksums are armed once per run (enable_checksums, latched by
+// the Injector when the schedule contains any corrupt event): every
+// remote per-destination copy is digest-stamped in the wire-completion
+// event, after the transport's frame stage assigned its sequence number.
+// With no corrupt event scheduled the stamping code never runs, so the
+// gray machinery is invisible to the determinism goldens.
 #pragma once
 
 #include <atomic>
@@ -47,6 +63,10 @@
 #include "net/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+
+namespace fdgm::obs {
+class Observer;
+}
 
 namespace fdgm::net {
 
@@ -193,10 +213,71 @@ class Network {
   /// not lose), so it needs neither buffering nor a retransmission timer.
   [[nodiscard]] bool loss_active() const { return loss_rate_ > 0.0 && loss_rng_ != nullptr; }
 
+  /// Can a frame submitted now fail to arrive intact?  True while either
+  /// the loss filter can drop it or the corruption filter can damage it
+  /// (a corrupted frame is dropped by the receiver's checksum verify) —
+  /// the transport's stamp-time predicate for ring-buffering frames.
+  [[nodiscard]] bool can_drop() const { return loss_active() || corrupt_active(); }
+
+  // --- gray failures ---
+
+  /// Stretch process `p`'s CPU service times by `factor` (the "limp" gray
+  /// failure; 1.0 restores nominal speed and is exactly neutral).
+  void set_cpu_limp(ProcessId p, double factor);
+  [[nodiscard]] double cpu_limp(ProcessId p) const {
+    return cpus_.at(static_cast<std::size_t>(p))->stretch();
+  }
+
+  /// Take every directed link in `from` × `to` down (messages held, like
+  /// an asymmetric cut) / bring it back up (held messages re-injected).
+  /// Down states nest: overlapping flap windows on the same link keep it
+  /// down until every window has brought it up again.
+  void set_flap_down(const std::vector<ProcessId>& from, const std::vector<ProcessId>& to);
+  void set_flap_up(const std::vector<ProcessId>& from, const std::vector<ProcessId>& to);
+
+  /// Is the directed link a -> b currently flapped down?
+  [[nodiscard]] bool flap_blocked(ProcessId a, ProcessId b) const {
+    return !flap_down_.empty() &&
+           flap_down_[static_cast<std::size_t>(a) * cpus_.size() +
+                      static_cast<std::size_t>(b)] != 0;
+  }
+
+  /// Corrupt each remote delivery with probability `rate`, drawing from
+  /// `rng` (the Injector's private sub-stream).  `link` restricts the
+  /// window to the directed links link[0] × link[1]; empty means every
+  /// link.  Replaces any earlier corruption window.
+  void set_corrupt(double rate, sim::Rng* rng,
+                   const std::vector<std::vector<ProcessId>>& link = {});
+  void clear_corrupt();
+  [[nodiscard]] bool corrupt_active() const {
+    return corrupt_rate_ > 0.0 && corrupt_rng_ != nullptr;
+  }
+
+  /// Arm frame checksums for the whole run: every remote per-destination
+  /// copy gets its digest stamped in the wire-completion event and
+  /// verified at the receiver.  Latched once (by Injector::arm when the
+  /// schedule contains a corrupt event) — never disarmed mid-run, so
+  /// every in-flight frame a receiver verifies carries a digest.
+  void enable_checksums() { checksums_enabled_ = true; }
+  [[nodiscard]] bool checksums_enabled() const { return checksums_enabled_; }
+
+  /// Observer for the no-transport corruption-detection path (may be
+  /// nullptr; counts obs::Counter::kCorruptionDetected per destination).
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
+
+  /// Deliveries damaged in transit / detected-and-dropped at final
+  /// delivery (the latter only counts the no-transport path: with a
+  /// transport armed, detection happens in its receive path and is
+  /// reported by transport::Transport::stats).
+  [[nodiscard]] std::uint64_t corrupted_deliveries() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t corruption_detected() const {
+    return corrupt_detected_.load(std::memory_order_relaxed);
+  }
+
   /// Arm (or disarm, with nullptr) the transport's frame-stamping stage.
   void set_frame_stage(FrameStage* stage) {
     frame_stage_ = stage;
-    if (stage != nullptr && loss_active()) serialize_deliveries_ = true;
+    if (stage != nullptr && can_drop()) serialize_deliveries_ = true;
   }
 
   /// Multiply the shared medium's service time by `factor` (1 = normal).
@@ -226,6 +307,13 @@ class Network {
     std::uint32_t free_head = kNoList;
   };
 
+  /// Does the active corruption window cover the directed link a -> b?
+  [[nodiscard]] bool corrupt_match(ProcessId a, ProcessId b) const {
+    return corrupt_link_.empty() ||
+           corrupt_link_[static_cast<std::size_t>(a) * cpus_.size() +
+                         static_cast<std::size_t>(b)] != 0;
+  }
+
   void on_send_done(const Message& m, std::uint32_t list, bool self);
   void refilter_held();
   void on_wire_done(const Message& m, std::uint32_t list);
@@ -245,6 +333,7 @@ class Network {
   std::vector<std::unique_ptr<Resource>> cpus_;
   Sink* sink_;
   FrameStage* frame_stage_ = nullptr;
+  obs::Observer* obs_ = nullptr;
   std::function<void(const Message&, ProcessId)> tap_;
   std::atomic<std::uint64_t> delivered_{0};
 
@@ -268,6 +357,21 @@ class Network {
   double delay_factor_ = 1.0;
   std::uint64_t lost_ = 0;
   std::uint64_t held_total_ = 0;
+
+  /// Flap down-counter per directed link (row-major n*n); empty until the
+  /// first flap transition.  Counters rather than flags so overlapping
+  /// flap windows on the same link nest correctly.
+  std::vector<std::uint16_t> flap_down_;
+  /// Corruption window state: probability, RNG (the Injector's private
+  /// sub-stream), and an optional link matrix (empty = every link).
+  double corrupt_rate_ = 0.0;
+  sim::Rng* corrupt_rng_ = nullptr;
+  std::vector<std::uint8_t> corrupt_link_;
+  bool checksums_enabled_ = false;
+  std::uint64_t corrupted_ = 0;
+  /// Detected at final delivery (no-transport path) — written from the
+  /// destination's partition under the parallel backend, hence atomic.
+  std::atomic<std::uint64_t> corrupt_detected_{0};
 };
 
 }  // namespace fdgm::net

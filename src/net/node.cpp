@@ -12,7 +12,7 @@ void Node::register_handler(ProtocolId proto, Layer* layer) {
 
 void Node::send(ProcessId dst, ProtocolId proto, PayloadPtr payload) {
   if (crashed_) return;
-  Message m{id_, dst, proto, payload, {}};
+  Message m{id_, dst, proto, {}, payload};
   ++sent_;
   sys_->network().submit(m, &dst, 1);
 }
@@ -20,7 +20,7 @@ void Node::send(ProcessId dst, ProtocolId proto, PayloadPtr payload) {
 void Node::multicast(const std::vector<ProcessId>& dsts, ProtocolId proto, PayloadPtr payload) {
   if (crashed_) return;
   if (dsts.empty()) return;
-  Message m{id_, kBroadcast, proto, payload, {}};
+  Message m{id_, kBroadcast, proto, {}, payload};
   ++sent_;
   sys_->network().submit(m, dsts);
 }
@@ -29,7 +29,7 @@ void Node::multicast_others(const std::vector<ProcessId>& dsts, ProtocolId proto
                             PayloadPtr payload) {
   if (crashed_) return;
   if (dsts.empty()) return;
-  Message m{id_, kBroadcast, proto, payload, {}};
+  Message m{id_, kBroadcast, proto, {}, payload};
   if (sys_->network().submit(m, dsts, /*loopback_self=*/false)) ++sent_;
 }
 

@@ -71,13 +71,27 @@ class Resource {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Service-rate degradation: every job's service time is multiplied by
+  /// `stretch` at commit time (the gray-failure "limp" — a CPU running at
+  /// 1/stretch of its nominal rate).  The default 1.0 is exactly neutral:
+  /// `t * 1.0 == t` bit-for-bit, so an armed-but-idle limp window cannot
+  /// perturb the determinism goldens.  Jobs already committed keep their
+  /// original completion times; only jobs committed inside the window
+  /// are stretched.
+  void set_stretch(double stretch) {
+    if (!(stretch > 0)) throw std::invalid_argument("Resource::set_stretch: factor must be > 0");
+    stretch_ = stretch;
+  }
+  [[nodiscard]] double stretch() const { return stretch_; }
+
  private:
   /// Applies one job at arrival time `at`; returns the completion time.
   /// Called by the scheduler either inline or during barrier replay.
   sim::Time commit_job(sim::Time at, double service_time) {
+    const double stretched = service_time * stretch_;
     const sim::Time start = std::max(at, free_at_);
-    free_at_ = start + service_time;
-    busy_time_ += service_time;
+    free_at_ = start + stretched;
+    busy_time_ += stretched;
     ++jobs_;
     return free_at_;
   }
@@ -89,6 +103,7 @@ class Resource {
   sim::Scheduler* sched_;
   std::string name_;
   int owner_ = sim::kOwnerShared;
+  double stretch_ = 1.0;
   sim::Time free_at_ = 0.0;
   double busy_time_ = 0.0;
   std::uint64_t jobs_ = 0;

@@ -36,6 +36,7 @@ System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
 
 void System::set_observer(obs::Observer* o) {
   obs_ = o;
+  network_->set_observer(o);
   if (transport_ != nullptr) transport_->set_observer(o);
 }
 

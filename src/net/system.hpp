@@ -53,7 +53,7 @@ class System : private Network::Sink, private transport::Transport::Sink {
   /// disarmed run takes no observability branches at all.
   [[nodiscard]] obs::Observer* obs() const { return obs_; }
   /// Attach (or detach, with null) the observer.  The System does not
-  /// own it; the SimRun does.  Propagates to the transport.
+  /// own it; the SimRun does.  Propagates to the network and transport.
   void set_observer(obs::Observer* o);
 
   /// The run's payload arena: every payload sent through this system is

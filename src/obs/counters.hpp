@@ -28,6 +28,11 @@ enum class Counter : std::uint8_t {
   // submission layer
   kBatchesFlushed,       // submission batches handed to the ordering machinery
   kCreditSheds,          // open-loop arrivals shed by the credit window
+  // gray-failure fault model
+  kCorruptionDetected,   // checksum-failed frames dropped at the receiver
+  kFlapTransitions,      // link up/down transitions executed by flap windows
+  kLimpWindows,          // limp windows opened at a node
+  kDriftWindows,         // clock-drift windows opened at a node
   kCount
 };
 

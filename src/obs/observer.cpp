@@ -38,6 +38,10 @@ const char* counter_name(Counter c) {
     case Counter::kViewChanges: return "view_changes";
     case Counter::kBatchesFlushed: return "batches_flushed";
     case Counter::kCreditSheds: return "credit_sheds";
+    case Counter::kCorruptionDetected: return "corruption_detected";
+    case Counter::kFlapTransitions: return "flap_transitions";
+    case Counter::kLimpWindows: return "limp_windows";
+    case Counter::kDriftWindows: return "drift_windows";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -42,12 +42,12 @@ void Transport::stamp_frame(net::Message& m, net::ProcessId dst) {
       throw std::logic_error("Transport: channel sequence space exhausted");
     m.frame.seq = s.next_seq++;
     ++stats_.data_frames;
-    // Only a frame the loss filter might drop needs recovery machinery: a
-    // partition holds (and re-injects in order), so with loss off the
-    // frame is guaranteed to arrive and the no-loss path stays free of
-    // buffering, timers and — with them — any deviation from the
-    // transport-less event sequence.
-    if (net_->loss_active()) {
+    // Only a frame that might fail to arrive intact needs recovery
+    // machinery: a partition holds (and re-injects in order), so with
+    // loss and corruption off the frame is guaranteed to arrive and the
+    // no-loss path stays free of buffering, timers and — with them — any
+    // deviation from the transport-less event sequence.
+    if (net_->can_drop()) {
       s.ring.push_back(RingEntry{m, sched_->now()});
       arm_timer(m.src, dst, s);
     }
@@ -93,6 +93,16 @@ void Transport::note_heard(net::ProcessId self, net::ProcessId peer, bool data) 
 }
 
 void Transport::on_frame(const net::Message& m, net::ProcessId dst) {
+  // Checksum verify first: a frame damaged in transit carries nothing
+  // trustworthy — not the piggybacked ack, not even the source identity —
+  // so it is dropped wholesale before any channel state is touched.  The
+  // sender's ring still holds a clean copy (the corruption filter reports
+  // the drop like a loss), and the NACK/timer machinery recovers it.
+  if (net_->checksums_enabled() && !net::frame_checksum_ok(m)) {
+    ++stats_.corrupt_dropped;
+    if (obs_ != nullptr) obs_->count(dst, obs::Counter::kCorruptionDetected, sched_->now());
+    return;
+  }
   note_heard(dst, m.src, m.proto != net::ProtocolId::kTransport);
   if (m.proto == net::ProtocolId::kTransport) {
     handle_ctrl(m, dst);
@@ -290,7 +300,7 @@ void Transport::send_ctrl(net::ProcessId from, net::ProcessId to, TransportCtrl:
   } else {
     ++stats_.acks;
   }
-  net::Message m{from, to, net::ProtocolId::kTransport, c, {}};
+  net::Message m{from, to, net::ProtocolId::kTransport, {}, c};
   net_->submit(m, &to, 1, /*loopback_self=*/false);
 }
 

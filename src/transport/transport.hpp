@@ -113,6 +113,7 @@ struct Stats {
   std::uint64_t acks = 0;          ///< explicit ACK control frames sent
   std::uint64_t timer_rounds = 0;  ///< retransmission-timer firings
   std::uint64_t postponed = 0;     ///< timer rounds deferred to the peer's cadence
+  std::uint64_t corrupt_dropped = 0;  ///< checksum-failed frames dropped on receive
 };
 
 /// Control frame payload (ACK / NACK), allocated from the run's arena.
