@@ -38,6 +38,7 @@ enum class Format { kTable, kCsv, kJson };
 struct Options {
   std::vector<std::string> scenarios;
   std::size_t jobs = 1;
+  bool jobs_explicit = false;  // --jobs passed on the command line
   std::uint64_t seed = 1000;
   Format format = Format::kTable;
   std::string out_dir;  // empty: stdout
@@ -48,6 +49,8 @@ struct Options {
   bool batch = false;
   std::string trace_path;    // --trace: Chrome trace-event JSON export
   std::string metrics_path;  // --metrics: windowed counter CSV export
+  std::string metrics_per_node_path;  // --metrics-per-node: per-node CSV
+  std::string critical_path_path;     // --critical-path: causal decomposition CSV
   bool faults_inline = false;  // --faults given (conflicts with --faults-file)
   bool faults_file = false;    // --faults-file given
   fault::FaultSchedule faults;
@@ -124,6 +127,19 @@ void print_usage() {
       "                    observability is passive: results are unchanged.\n"
       "  --metrics FILE    like --trace, but exports the windowed per-layer\n"
       "                    counter time-series as CSV; combinable with --trace\n"
+      "  --metrics-per-node FILE\n"
+      "                    like --metrics, but one row per node per window\n"
+      "                    (t_ms, node, counters)\n"
+      "  --critical-path FILE\n"
+      "                    arm causal tracing and export the per-message\n"
+      "                    critical-path decomposition as CSV: every ns of a\n"
+      "                    message's latency attributed to one cause (credit\n"
+      "                    wait, batch wait, CPU queue, wire, NACK / timer /\n"
+      "                    backoff recovery, sequencer queue, consensus round,\n"
+      "                    reorder hold), plus per-cause aggregate footers.\n"
+      "                    Also enriches --trace JSON with flow events whose\n"
+      "                    dominant_cause annotates each message.  Forces\n"
+      "                    --jobs 1 like --trace.\n"
       "  --set key=value   scenario/driver parameter, repeatable.  Driver\n"
       "                    keys: quick=1 (smoke budget), replicas=N,\n"
       "                    samples=N; per-scenario keys are listed by --list.\n"
@@ -197,6 +213,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.jobs = static_cast<std::size_t>(n);
+      opt.jobs_explicit = true;
     } else if (a == "--seed") {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
@@ -229,6 +246,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
       opt.metrics_path = v;
+    } else if (a == "--metrics-per-node") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      opt.metrics_per_node_path = v;
+    } else if (a == "--critical-path") {
+      const char* v = need_value(i, a.c_str());
+      if (!v) return false;
+      opt.critical_path_path = v;
     } else if (a == "--backend") {
       const char* v = need_value(i, a.c_str());
       if (!v) return false;
@@ -364,16 +389,21 @@ int run(const Options& opt) {
   }
 
   std::size_t jobs = opt.jobs;
-  const bool exporting = !opt.trace_path.empty() || !opt.metrics_path.empty();
+  const bool exporting = !opt.trace_path.empty() || !opt.metrics_path.empty() ||
+                         !opt.metrics_per_node_path.empty() ||
+                         !opt.critical_path_path.empty();
   if (exporting) {
     // The first armed Observer constructed in the process claims the
     // export; with one worker that is deterministically replica 0 of the
-    // first point of the first selected scenario.
-    if (jobs != 1)
-      std::cerr << "fdgm_bench: --trace/--metrics force --jobs 1 for a "
-                   "deterministic export\n";
+    // first point of the first selected scenario.  The override is silent
+    // unless the user explicitly asked for a conflicting job count.
+    if (opt.jobs_explicit && opt.jobs != 1)
+      std::cerr << "fdgm_bench: --trace/--metrics/--critical-path force --jobs 1 "
+                   "for a deterministic export (overriding --jobs "
+                << opt.jobs << ")\n";
     jobs = 1;
-    obs::Observer::set_export_paths(opt.trace_path, opt.metrics_path);
+    obs::Observer::set_export_paths(opt.trace_path, opt.metrics_path,
+                                    opt.metrics_per_node_path, opt.critical_path_path);
   }
 
   ScenarioContext ctx;
@@ -385,6 +415,8 @@ int run(const Options& opt) {
   ctx.transport.enabled = opt.transport;
   ctx.batching.enabled = opt.batch;
   ctx.obs.enabled = exporting;
+  ctx.obs.causal = !opt.critical_path_path.empty();
+  ctx.obs.per_node_metrics = !opt.metrics_per_node_path.empty();
   ctx.profile = opt.profile;
   try {
     if (ctx.param_flag("quick")) shrink_for_quick(ctx.budget);

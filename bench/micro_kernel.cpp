@@ -532,6 +532,62 @@ void BM_ObserverArmedHooks(benchmark::State& state) {
 }
 BENCHMARK(BM_ObserverArmedHooks);
 
+// Armed *causal* hot path: edge recording via trace_marker/trace_stall
+// (the classify step is the caller's; this kernel measures the recorder)
+// plus the FD QoS meter's transition bookkeeping.  The edge slabs are
+// reserved at construction, MsgRefList is a fixed array and a QoS
+// transition touches only pre-sized vectors, so the hooks must never
+// allocate — including after the slabs fill and edges start dropping
+// (the kernel runs past capacity on purpose).  perf-smoke asserts
+// allocs_per_event == 0 here, the causal half of "armed is free".
+void BM_CausalHookKernel(benchmark::State& state) {
+  constexpr int kN = 8;
+  constexpr int kMsgs = 32;
+  obs::Config cfg;
+  cfg.enabled = true;
+  cfg.causal = true;
+  cfg.edge_capacity = 1024;  // deliberately small: exercise the drop path
+  obs::Observer o(kN, cfg);
+  double now = 0.0;
+  std::array<std::uint64_t, kN> seqs{};
+  auto round = [&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      const int origin = i % kN;
+      const std::uint64_t s = ++seqs[static_cast<std::size_t>(origin)];
+      o.on_submit(origin, s, now);
+      o.on_order_start(origin, s, now);
+      obs::MsgRefList refs;
+      refs.add(origin, s);
+      // One hop's worth of markers plus a recovery stall, per message.
+      o.trace_marker(obs::EdgeKind::kSendEnq, origin, refs, now);
+      o.trace_marker(obs::EdgeKind::kSendDone, origin, refs, now + 0.01);
+      o.trace_marker(obs::EdgeKind::kWireEnq, origin, refs, now + 0.01);
+      o.trace_marker(obs::EdgeKind::kWireDone, origin, refs, now + 0.4);
+      o.trace_stall(obs::EdgeKind::kStallNack, origin, refs, now, now + 1.0);
+      o.on_ordered(origin, s, now + 1.0, origin);
+      o.on_delivered(origin, s, now + 2.0, origin);
+      // QoS meter edges: a wrong suspicion opening and closing.
+      o.on_fd_transition(origin, (origin + 1) % kN, 0b01, now);
+      o.on_fd_transition(origin, (origin + 1) % kN, 0b00, now + 0.5);
+      now += 0.25;
+    }
+  };
+  round();  // warm-up
+  const std::uint64_t a0 = g_allocs;
+  std::int64_t hooks = 0;
+  for (auto _ : state) {
+    round();
+    hooks += kMsgs * 11;
+  }
+  state.SetItemsProcessed(hooks);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(hooks);
+  benchmark::DoNotOptimize(o.edges_recorded());
+  benchmark::DoNotOptimize(o.edges_dropped());
+  benchmark::DoNotOptimize(o.qos_measured().transitions);
+}
+BENCHMARK(BM_CausalHookKernel);
+
 void BM_AbcastSecond(benchmark::State& state) {
   // Cost of one simulated second of atomic broadcast at T=300/s, n=3.
   const auto algo = static_cast<core::Algorithm>(state.range(0));

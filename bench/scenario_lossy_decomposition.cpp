@@ -29,8 +29,17 @@ constexpr double kLossHorizon = 1.0e7;
 double throughput_for(int n) { return n >= 32 ? 50.0 : 100.0; }
 
 util::Table run_decomposition(const ScenarioContext& ctx) {
-  util::Table table({"algo", "n", "loss [%]", "T [1/s]", "total [ms]", "submit [ms]",
-                     "order [ms]", "deliver [ms]", "seq-retx share", "retx/s"});
+  std::vector<std::string> headers{"algo", "n", "loss [%]", "T [1/s]", "total [ms]",
+                                   "submit [ms]", "order [ms]", "deliver [ms]",
+                                   "seq-retx share", "retx/s"};
+  // --profile: end-to-end latency quantiles from the armed observer's
+  // histogram (machine-independent, but omitted from the default CSV
+  // layout so the committed results stay byte-stable).
+  if (ctx.profile) {
+    headers.emplace_back("p50 [ms]");
+    headers.emplace_back("p99 [ms]");
+  }
+  util::Table table(headers);
 
   const bool quick = ctx.param_flag("quick");
 
@@ -65,6 +74,7 @@ util::Table run_decomposition(const ScenarioContext& ctx) {
                                      util::Table::cell(throughput, 0)};
         if (!r.stable || r.phase_count == 0) {
           row.insert(row.end(), {"unstable", "-", "-", "-", "-", "-"});
+          if (ctx.profile) row.insert(row.end(), {"-", "-"});
           return row;
         }
         const auto per = [&](double sum) {
@@ -85,6 +95,10 @@ util::Table run_decomposition(const ScenarioContext& ctx) {
                                               3));
         row.push_back(util::Table::cell(
             static_cast<double>(r.retransmits) / (r.sim_ms / 1000.0), 2));
+        if (ctx.profile) {
+          row.push_back(util::Table::cell(r.lat_p50));
+          row.push_back(util::Table::cell(r.lat_p99));
+        }
         return row;
       });
     }

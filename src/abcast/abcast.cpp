@@ -30,6 +30,14 @@ void AtomicBroadcastProcess::enqueue_submission(AppMessagePtr msg) {
     // Unbatched, the message enters the ordering machinery in this very
     // call: the submission-wait phase is zero by construction.
     if (!batching_.enabled) o->on_order_start(msg->id.origin, msg->id.seq, sys_->now());
+    // Causal anchor: accepted while the credit window was shut — the
+    // walker attributes this message's submission wait to credit, not
+    // the batch timer.
+    if (o->causal() && batching_.enabled && !can_submit()) {
+      obs::MsgRefList refs;
+      refs.add(msg->id.origin, msg->id.seq);
+      o->trace_marker(obs::EdgeKind::kCreditClosed, self_, refs, sys_->now());
+    }
   }
   if (!batching_.enabled) {
     // Bit-identity contract: the unbatched path is exactly the
@@ -96,7 +104,7 @@ void AtomicBroadcastProcess::arm_flush_timer() {
 void AtomicBroadcastProcess::deliver(const AppMessage& m) {
   // First-write-wins inside the observer: across the n local deliveries
   // of one message this records the *global-first* A-delivery instant.
-  if (auto* o = sys_->obs()) o->on_delivered(m.id.origin, m.id.seq, sys_->now());
+  if (auto* o = sys_->obs()) o->on_delivered(m.id.origin, m.id.seq, sys_->now(), self_);
   if (m.id.origin == self_ && in_flight_ > 0) {
     --in_flight_;
     // Release edge: the window was exhausted and just reopened.

@@ -232,6 +232,13 @@ consensus::StartInfo FdAbcastProcess::make_start_info(std::uint64_t number) {
     auto [it, inserted] = proposed_in_.try_emplace(id, number);
     if (!inserted) it->second = std::max(it->second, number);
   }
+  // Causal anchor: the consensus round covering these messages starts
+  // here; the walker closes the interval at the decision (on_ordered).
+  if (auto* o = sys_->obs(); o != nullptr && o->causal()) {
+    obs::MsgRefList refs;
+    for (const MsgId& id : ids) refs.add(id.origin, id.seq);
+    o->trace_marker(obs::EdgeKind::kConsStart, self_, refs, sys_->now());
+  }
   return consensus::StartInfo{
       .members = &sys_->all(),
       .coordinator_offset = offset_for(number),
@@ -245,6 +252,11 @@ consensus::StartInfo FdAbcastProcess::make_start_info(std::uint64_t number) {
               fresh.push_back(id);
               auto [it, inserted] = proposed_in_.try_emplace(id, number);
               if (!inserted) it->second = std::max(it->second, number);
+            }
+            if (auto* o = sys_->obs(); o != nullptr && o->causal()) {
+              obs::MsgRefList refs;
+              for (const MsgId& id : fresh) refs.add(id.origin, id.seq);
+              o->trace_marker(obs::EdgeKind::kConsStart, self_, refs, sys_->now());
             }
             return sys_->arena().make<Proposal>(self_, std::move(fresh));
           },
@@ -281,7 +293,7 @@ void FdAbcastProcess::on_decide(const consensus::InstanceKey& key, const net::Pa
   // covers; first-write-wins in the observer makes this the *earliest*
   // decision instant across the n processes deciding the instance.
   if (auto* o = sys_->obs()) {
-    for (const MsgId& id : prop->ids) o->on_ordered(id.origin, id.seq, sys_->now());
+    for (const MsgId& id : prop->ids) o->on_ordered(id.origin, id.seq, sys_->now(), self_);
   }
   ready_decisions_.emplace(key.number, prop);
   process_ready_decisions();
@@ -334,3 +346,17 @@ void FdAbcastProcess::process_ready_decisions() {
 }
 
 }  // namespace fdgm::abcast
+
+namespace fdgm::obs {
+
+// Defined here because the Proposal payload is private to the FD stack.
+void classify_fd_payload(net::PayloadPtr p, MsgRefList& out) {
+  using Proposal = abcast::FdAbcastProcess::Proposal;
+  if (const auto* prop = net::payload_cast<Proposal>(p)) {
+    for (const abcast::MsgId& id : prop->ids) out.add(id.origin, id.seq);
+  }
+  // SyncReq / SyncResp are recovery control traffic: no live message of
+  // the steady-state critical path rides them.
+}
+
+}  // namespace fdgm::obs

@@ -39,6 +39,7 @@
 #include "consensus/chandra_toueg.hpp"
 #include "fd/failure_detector.hpp"
 #include "net/system.hpp"
+#include "obs/causal.hpp"
 #include "rbcast/reliable_broadcast.hpp"
 
 namespace fdgm::abcast {
@@ -99,6 +100,10 @@ class FdAbcastProcess final : public AtomicBroadcastProcess, public net::Layer {
   void flush_batch(const AppMessagePtr* msgs, std::size_t count) override;
 
  private:
+  /// The causal classifier decodes the private Proposal payload (its ids
+  /// are the messages a consensus instance covers).
+  friend void obs::classify_fd_payload(net::PayloadPtr p, obs::MsgRefList& out);
+
   /// The consensus value: a set of message ids tagged with the proposer.
   class Proposal final : public net::Payload {
    public:

@@ -163,6 +163,15 @@ bool GmAbcastProcess::admit_data(const AppMessagePtr& msg) {
   if (delivered_.contains(msg->id) || msgs_.contains(msg->id)) return false;
   msgs_.emplace(msg->id, msg);
   arrival_order_.push_back(msg->id);
+  // Causal anchor (sequencer only): the message entered the pending queue
+  // here; the walker closes the interval at the sn assignment.
+  if (active_sequencer()) {
+    if (auto* o = sys_->obs(); o != nullptr && o->causal()) {
+      obs::MsgRefList refs;
+      refs.add(msg->id.origin, msg->id.seq);
+      o->trace_marker(obs::EdgeKind::kSeqEnter, self_, refs, sys_->now());
+    }
+  }
   return true;
 }
 
@@ -193,7 +202,7 @@ void GmAbcastProcess::sequence_pending() {
   // The sequencer's sn assignment is the instant a GM message's global
   // order becomes fixed — the "ordered" point of its lifecycle span.
   if (auto* o = sys_->obs()) {
-    for (const auto& [id, sn] : assigned) o->on_ordered(id.origin, id.seq, sys_->now());
+    for (const auto& [id, sn] : assigned) o->on_ordered(id.origin, id.seq, sys_->now(), self_);
   }
   batch_ends_.push_back(next_sn_ - 1);
   sys_->node(self_).multicast_others(
@@ -504,3 +513,21 @@ void GmAbcastProcess::apply_state(const net::PayloadPtr& state, const gm::View& 
 }
 
 }  // namespace fdgm::abcast
+
+namespace fdgm::obs {
+
+// Defined here because DATA / SEQNUM are private to the GM stack.
+void classify_gm_payload(net::PayloadPtr p, MsgRefList& out) {
+  using DataMsg = abcast::GmAbcastProcess::DataMsg;
+  using SeqnumMsg = abcast::GmAbcastProcess::SeqnumMsg;
+  if (const auto* d = net::payload_cast<DataMsg>(p)) {
+    out.add(d->msg->id.origin, d->msg->id.seq);
+    return;
+  }
+  if (const auto* s = net::payload_cast<SeqnumMsg>(p)) {
+    for (const auto& [id, sn] : s->pairs) out.add(id.origin, id.seq);
+  }
+  // ACK / DELIVER / NEED / state transfer are control traffic.
+}
+
+}  // namespace fdgm::obs

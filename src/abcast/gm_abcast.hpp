@@ -35,6 +35,7 @@
 #include "gm/membership.hpp"
 #include "gm/view.hpp"
 #include "net/system.hpp"
+#include "obs/causal.hpp"
 #include "rbcast/reliable_broadcast.hpp"
 
 namespace fdgm::abcast {
@@ -91,6 +92,10 @@ class GmAbcastProcess final : public AtomicBroadcastProcess, public gm::Membersh
   void flush_batch(const AppMessagePtr* msgs, std::size_t count) override;
 
  private:
+  /// The causal classifier decodes the private DATA / SEQNUM payloads
+  /// (which application messages a GM frame carries).
+  friend void obs::classify_gm_payload(net::PayloadPtr p, obs::MsgRefList& out);
+
   class DataMsg;
   class SeqnumMsg;
   class AckMsg;

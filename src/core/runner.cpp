@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/parallel.hpp"
 
@@ -22,6 +23,11 @@ struct ReplicaOutcome {
   std::uint64_t shed = 0;
   std::uint64_t retx_origin0 = 0;
   obs::PhaseTotals phases;
+  obs::CauseTotals causes;
+  obs::QosMeasured qos;
+  /// End-to-end latency histogram copy (armed observer only); optional
+  /// because Histogram has no default binning.
+  std::optional<util::Histogram> e2e;
 };
 
 /// Copies the transport and workload counters (and the simulated horizon)
@@ -40,7 +46,12 @@ void capture_run_stats(SimRun& run, ReplicaOutcome& o) {
 /// Phase-latency decomposition over the measurement window [t0, t_end);
 /// zeros when observability is disarmed.
 void capture_phases(SimRun& run, ReplicaOutcome& o, sim::Time t0, sim::Time t_end) {
-  if (obs::Observer* ob = run.observer()) o.phases = ob->phase_totals(t0, t_end);
+  if (obs::Observer* ob = run.observer()) {
+    o.phases = ob->phase_totals(t0, t_end);
+    o.qos = ob->qos_measured();
+    o.e2e = ob->e2e_hist();
+    if (ob->causal()) o.causes = ob->cause_totals(t0, t_end);
+  }
 }
 
 ReplicaOutcome steady_replica(SimConfig cfg, const SteadyConfig& sc,
@@ -135,6 +146,7 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
 
   std::vector<double> means;
   PointResult out;
+  std::optional<util::Histogram> e2e;
   for (const ReplicaOutcome& o : outcomes) {
     out.events += o.events;
     out.sim_ms += o.sim_ms;
@@ -147,12 +159,26 @@ PointResult run_steady(const SimConfig& cfg, const SteadyConfig& sc,
     out.phase_submit_ms += o.phases.submit_wait_ms;
     out.phase_order_ms += o.phases.ordering_ms;
     out.phase_deliver_ms += o.phases.delivery_ms;
+    out.cause_count += o.causes.count;
+    for (std::size_t c = 0; c < obs::kCauseCount; ++c) out.cause_ms[c] += o.causes.sums[c];
+    out.qos += o.qos;
     if (!o.stable) {
       out.stable = false;
       continue;
     }
+    // All replicas share SimConfig::obs binning, so the histograms merge.
+    if (o.e2e.has_value()) {
+      if (e2e.has_value())
+        e2e->merge(*o.e2e);
+      else
+        e2e = o.e2e;
+    }
     means.push_back(o.mean);
     out.total_samples += o.samples;
+  }
+  if (e2e.has_value() && e2e->count() > 0) {
+    out.lat_p50 = e2e->quantile(0.5);
+    out.lat_p99 = e2e->quantile(0.99);
   }
   // A point is reported only when a clear majority of replicas converged;
   // this mirrors the paper leaving unusable settings off the graphs.
@@ -187,6 +213,7 @@ struct WindowedReplica {
   std::uint64_t suspicions = 0;
   std::uint64_t view_changes = 0;
   std::uint64_t corruption_detected = 0;
+  obs::QosMeasured qos;
 };
 
 WindowedReplica windowed_replica(SimConfig cfg, const WindowedConfig& wc,
@@ -221,6 +248,7 @@ WindowedReplica windowed_replica(SimConfig cfg, const WindowedConfig& wc,
     out.suspicions = o->total(obs::Counter::kSuspicions);
     out.view_changes = o->total(obs::Counter::kViewChanges);
     out.corruption_detected = o->total(obs::Counter::kCorruptionDetected);
+    out.qos = o->qos_measured();
   }
   return out;
 }
@@ -244,6 +272,7 @@ WindowedResult run_windowed(const SimConfig& cfg, const WindowedConfig& wc) {
     out.suspicions += rep.suspicions;
     out.view_changes += rep.view_changes;
     out.corruption_detected += rep.corruption_detected;
+    out.qos += rep.qos;
     for (std::size_t w = 0; w < means.size(); ++w) per_window[w].push_back(means[w]);
   }
   // Same reporting rule as run_steady: a clear majority of replicas must

@@ -3,11 +3,14 @@
 // confidence intervals, exactly the way the paper's graphs report them.
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/observer.hpp"
 #include "util/stats.hpp"
 
 namespace fdgm::core {
@@ -69,6 +72,20 @@ struct PointResult {
   double phase_submit_ms = 0.0;
   double phase_order_ms = 0.0;
   double phase_deliver_ms = 0.0;
+  /// End-to-end latency quantiles over every delivery the armed observer
+  /// saw across the converged replicas; NaN unless SimConfig::obs is
+  /// armed (the per-replica histograms share binning, so they merge).
+  double lat_p50 = std::nan("");
+  double lat_p99 = std::nan("");
+  /// Per-cause critical-path sums (ms) over the messages of the
+  /// measurement windows; all zero unless SimConfig::obs.causal is on.
+  /// cause_ms[c] / cause_count is the mean per-message time attributed to
+  /// cause c, and the per-cause means add up to the end-to-end mean.
+  std::size_t cause_count = 0;
+  std::array<double, obs::kCauseCount> cause_ms{};
+  /// Empirical FD QoS aggregates summed over the replicas (zero unless
+  /// SimConfig::obs is armed); see obs::QosMeasured for the means.
+  obs::QosMeasured qos;
 };
 
 /// Steady-state scenarios.  `initial_crashes` are crashed at t=0 (use
@@ -127,6 +144,11 @@ struct WindowedResult {
   /// One entry per window, aggregated over replica means (95% CI).
   std::vector<util::MeanCi> windows;
   bool stable = true;
+  /// Empirical FD QoS aggregates summed over the converged replicas; all
+  /// zero unless SimConfig::obs is armed.  The qos_accuracy scenario
+  /// divides these into measured T_D / T_M / T_MR and compares them to
+  /// the configured Chen-Toueg targets.
+  obs::QosMeasured qos;
   /// Failure-information counters summed over the converged replicas; all
   /// zero unless SimConfig::obs is armed.  The gray-failure scenarios
   /// read these to decompose *why* the two stacks react differently to a

@@ -75,7 +75,7 @@ void QosFailureDetectorModel::on_crash(net::ProcessId p, sim::Time when) {
       if (sys_->node(p).crashed()) st.crashed_permanent = true;
       if (sys_->node(q).crashed()) return;  // a dead monitor notifies nobody
       if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, sys_->now());
-      at(q).set_suspected(p, true);
+      set_suspected_observed(q, p, true);
     });
   }
 }
@@ -99,7 +99,7 @@ void QosFailureDetectorModel::on_recover(net::ProcessId p, sim::Time when) {
       PairState& st = pair(q, p);
       st.crashed_permanent = false;
       st.suspect_until = sys_->now();
-      if (!sys_->node(q).crashed()) at(q).set_suspected(p, false);
+      if (!sys_->node(q).crashed()) set_suspected_observed(q, p, false);
       restart_renewal(q, p, sys_->now());
     });
   }
@@ -110,7 +110,7 @@ void QosFailureDetectorModel::on_recover(net::ProcessId p, sim::Time when) {
     if (r == p) continue;
     PairState& st = pair(p, r);
     st.suspect_until = when;
-    at(p).set_suspected(r, st.crashed_permanent);
+    set_suspected_observed(p, r, st.crashed_permanent);
     if (!st.crashed_permanent && !sys_->node(r).crashed()) restart_renewal(p, r, when);
   }
 }
@@ -136,7 +136,7 @@ void QosFailureDetectorModel::inject_suspicion(net::ProcessId q, net::ProcessId 
   PairState& st = pair(q, p);
   if (st.crashed_permanent || sys_->node(q).crashed() || sys_->node(p).crashed()) return;
   if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, sys_->now());
-  at(q).set_suspected(p, true);
+  set_suspected_observed(q, p, true);
   if (st.suspect_until < until) st.suspect_until = until;
   schedule_release(q, p, until);
 }
@@ -150,7 +150,7 @@ void QosFailureDetectorModel::schedule_release(net::ProcessId q, net::ProcessId 
     PairState& st = pair(q, p);
     if (st.crashed_permanent) return;
     if (until < st.suspect_until) return;  // a later window extended it
-    at(q).set_suspected(p, false);
+    set_suspected_observed(q, p, false);
   });
 }
 
@@ -181,7 +181,7 @@ void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::Proce
                              (clock_rate_[static_cast<std::size_t>(p)] *
                               clock_rate_[static_cast<std::size_t>(q)]));
     if (auto* o = sys_->obs()) o->count(q, obs::Counter::kSuspicions, start);
-    at(q).set_suspected(p, true);
+    set_suspected_observed(q, p, true);
 
     const sim::Time until = start + duration;
     if (st.suspect_until < until) st.suspect_until = until;
@@ -189,6 +189,18 @@ void QosFailureDetectorModel::schedule_next_mistake(net::ProcessId q, net::Proce
 
     schedule_next_mistake(q, p, start);
   });
+}
+
+void QosFailureDetectorModel::set_suspected_observed(net::ProcessId q, net::ProcessId p,
+                                                     bool suspected) {
+  FailureDetector& m = at(q);
+  const bool was = m.suspects(p);
+  m.set_suspected(p, suspected);
+  if (was == suspected) return;  // no edge: e.g. overlapping storm windows
+  if (auto* o = sys_->obs()) {
+    const int flags = (suspected ? 1 : 0) | (sys_->node(p).crashed() ? 2 : 0);
+    o->on_fd_transition(q, p, flags, sys_->now());
+  }
 }
 
 void QosFailureDetectorModel::set_clock_rate(net::ProcessId p, double rate) {

@@ -105,6 +105,11 @@ class QosFailureDetectorModel {
 
   void on_crash(net::ProcessId p, sim::Time when);
   void on_recover(net::ProcessId p, sim::Time when);
+  /// Single funnel for every suspect/trust flip: applies the flip to q's
+  /// module and reports the *transition* (state actually changed) to the
+  /// armed observer's QoS meter.  All set_suspected call sites go through
+  /// here so the measured T_D / T_M / T_MR see every edge exactly once.
+  void set_suspected_observed(net::ProcessId q, net::ProcessId p, bool suspected);
   void schedule_next_mistake(net::ProcessId q, net::ProcessId p, sim::Time from);
   void schedule_release(net::ProcessId q, net::ProcessId p, sim::Time until);
   /// (Re)start the renewal chain of (q, p) from `from`.

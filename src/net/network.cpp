@@ -10,6 +10,20 @@
 
 namespace fdgm::net {
 
+namespace {
+
+// Classifies the frame payload and records one causal hop marker per
+// application message it carries.  Callers guard on obs->causal() so the
+// classifier never runs on non-causal hot paths.
+inline void causal_mark(obs::Observer* o, obs::EdgeKind kind, ProcessId node, const Message& m,
+                        double now) {
+  obs::MsgRefList refs;
+  obs::classify_payload(m.payload, refs);
+  if (!refs.empty()) o->trace_marker(kind, node, refs, now);
+}
+
+}  // namespace
+
 Network::Network(sim::Scheduler& sched, int num_processes, NetworkConfig cfg, Sink& sink)
     : sched_(&sched), cfg_(cfg), wire_(sched, "network"), sink_(&sink) {
   if (num_processes <= 0) throw std::invalid_argument("Network: need at least one process");
@@ -74,6 +88,9 @@ bool Network::submit(const Message& m, const ProcessId* dsts, std::size_t count,
   }
   if (!self && list == kNoList) return false;  // no effective destination
 
+  if (obs_ != nullptr && obs_->causal()) {
+    causal_mark(obs_, obs::EdgeKind::kSendEnq, m.src, m, sched_->now());
+  }
   // Stage 1: send-side CPU processing.
   cpus_[static_cast<std::size_t>(m.src)]->enqueue(
       cfg_.lambda, [this, m, list, self] { on_send_done(m, list, self); });
@@ -81,6 +98,11 @@ bool Network::submit(const Message& m, const ProcessId* dsts, std::size_t count,
 }
 
 void Network::on_send_done(const Message& m, std::uint32_t list, bool self) {
+  if (obs_ != nullptr && obs_->causal()) {
+    const double now = sched_->now();
+    causal_mark(obs_, obs::EdgeKind::kSendDone, m.src, m, now);
+    if (list != kNoList) causal_mark(obs_, obs::EdgeKind::kWireEnq, m.src, m, now);
+  }
   if (self) {
     // Local loopback: no network, no extra CPU job.
     Message copy = m;
@@ -97,6 +119,9 @@ void Network::on_send_done(const Message& m, std::uint32_t list, bool self) {
 }
 
 void Network::on_wire_done(const Message& m, std::uint32_t list) {
+  if (obs_ != nullptr && obs_->causal()) {
+    causal_mark(obs_, obs::EdgeKind::kWireDone, m.src, m, sched_->now());
+  }
   // Fault filter, then stage 3: receive-side CPU processing, one job per
   // destination host.  filter_or_deliver only enqueues (no user callbacks
   // run synchronously), so the pooled list stays stable while we iterate.
@@ -156,6 +181,9 @@ void Network::deliver_via_cpu(const Message& m, ProcessId d) {
   // execute on the serial shared partition (the transport's receive path
   // mutates per-pair channel state and emits control frames); otherwise
   // they run on the destination's own partition.
+  if (obs_ != nullptr && obs_->causal()) {
+    causal_mark(obs_, obs::EdgeKind::kRecvEnq, d, m, sched_->now());
+  }
   Resource& cpu = *cpus_[static_cast<std::size_t>(d)];
   cpu.enqueue_as(serialize_deliveries_ ? sim::kOwnerShared : d, cfg_.lambda,
                  [this, m, d] { finish_delivery(m, d); });
@@ -163,6 +191,9 @@ void Network::deliver_via_cpu(const Message& m, ProcessId d) {
 
 void Network::finish_delivery(Message m, ProcessId d) {
   m.dst = d;
+  if (obs_ != nullptr && obs_->causal()) {
+    causal_mark(obs_, obs::EdgeKind::kRecvDone, d, m, sched_->now());
+  }
   // Checksum verify for the transport-less configuration: the receive
   // stack has no repair path, so a damaged frame is simply detected,
   // counted and dropped (the delivery is lost — protocols see it like

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace fdgm::net {
 
 System::System(int num_processes, NetworkConfig cfg, std::uint64_t seed,
@@ -52,6 +54,9 @@ void System::crash(ProcessId p) {
   Node& nd = node(p);
   if (nd.crashed()) return;
   nd.crash();
+  // Ground truth for the observer's empirical FD QoS meter: measured T_D
+  // counts from this instant to each monitor's first suspicion.
+  if (obs_ != nullptr) obs_->on_crash(p, sched_.now());
   for (auto& fn : crash_listeners_) fn(p, sched_.now());
 }
 
@@ -63,6 +68,7 @@ void System::restart(ProcessId p) {
   Node& nd = node(p);
   if (!nd.crashed()) return;
   nd.restart();
+  if (obs_ != nullptr) obs_->on_recover(p, sched_.now());
   for (auto& fn : recovery_listeners_) fn(p, sched_.now());
 }
 

@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <mutex>
 #include <ostream>
 
@@ -19,8 +20,10 @@ namespace {
 // races the first armed Observer for the claim; the mutex is belt and
 // braces for embedders that arm exports with parallel replicas anyway.
 std::mutex g_export_mu;
-std::string g_trace_path;    // NOLINT(runtime/string)
-std::string g_metrics_path;  // NOLINT(runtime/string)
+std::string g_trace_path;             // NOLINT(runtime/string)
+std::string g_metrics_path;           // NOLINT(runtime/string)
+std::string g_metrics_per_node_path;  // NOLINT(runtime/string)
+std::string g_critical_path_path;     // NOLINT(runtime/string)
 
 }  // namespace
 
@@ -54,6 +57,7 @@ Observer::Observer(int num_processes, Config cfg)
       ordering_hist_(0.0, cfg.histogram_max_ms, cfg.histogram_bins),
       delivery_hist_(0.0, cfg.histogram_max_ms, cfg.histogram_bins),
       batch_hist_(0.0, 256.0, 64),
+      e2e_hist_(0.0, cfg.histogram_max_ms, cfg.histogram_bins),
       next_window_(cfg.metrics_window_ms) {
   spans_.resize(static_cast<std::size_t>(n_));
   for (auto& slab : spans_) slab.reserve(cfg_.span_capacity);
@@ -61,12 +65,26 @@ Observer::Observer(int num_processes, Config cfg)
   retx_origin_.assign(static_cast<std::size_t>(n_), 0);
   reorder_peak_.assign(static_cast<std::size_t>(n_), 0);
   snapshots_.reserve(cfg_.snapshot_capacity);
+  if (cfg_.causal) {
+    edges_.resize(static_cast<std::size_t>(n_));
+    for (auto& slab : edges_) slab.reserve(cfg_.edge_capacity);
+  }
+  if (cfg_.per_node_metrics) {
+    node_snapshots_.reserve(cfg_.snapshot_capacity * static_cast<std::size_t>(n_));
+  }
+  qos_pairs_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), QosPair{});
+  qos_targets_.assign(static_cast<std::size_t>(n_), QosTarget{});
   std::lock_guard<std::mutex> lock(g_export_mu);
-  if (!g_trace_path.empty() || !g_metrics_path.empty()) {
+  if (!g_trace_path.empty() || !g_metrics_path.empty() || !g_metrics_per_node_path.empty() ||
+      !g_critical_path_path.empty()) {
     trace_path_ = std::move(g_trace_path);
     metrics_path_ = std::move(g_metrics_path);
+    metrics_per_node_path_ = std::move(g_metrics_per_node_path);
+    critical_path_path_ = std::move(g_critical_path_path);
     g_trace_path.clear();
     g_metrics_path.clear();
+    g_metrics_per_node_path.clear();
+    g_critical_path_path.clear();
   }
 }
 
@@ -74,10 +92,14 @@ Observer::~Observer() {
   if (claimed_export()) flush_export();
 }
 
-void Observer::set_export_paths(std::string trace_path, std::string metrics_path) {
+void Observer::set_export_paths(std::string trace_path, std::string metrics_path,
+                                std::string metrics_per_node_path,
+                                std::string critical_path_path) {
   std::lock_guard<std::mutex> lock(g_export_mu);
   g_trace_path = std::move(trace_path);
   g_metrics_path = std::move(metrics_path);
+  g_metrics_per_node_path = std::move(metrics_per_node_path);
+  g_critical_path_path = std::move(critical_path_path);
 }
 
 // ---------------------------------------------------------------- lifecycle
@@ -122,18 +144,22 @@ void Observer::on_order_start(int origin, std::uint64_t seq, double now) {
   if (Span* s = find(origin, seq); s && s->order_start < 0.0) s->order_start = now;
 }
 
-void Observer::on_ordered(int origin, std::uint64_t seq, double now) {
-  if (sim::stage_effect<&Observer::on_ordered>(this, origin, seq, now)) return;
+void Observer::on_ordered(int origin, std::uint64_t seq, double now, int node) {
+  if (sim::stage_effect<&Observer::on_ordered>(this, origin, seq, now, node)) return;
   if (now >= next_window_) roll_window(now);
-  if (Span* s = find(origin, seq); s && s->ordered < 0.0) s->ordered = now;
+  if (Span* s = find(origin, seq); s && s->ordered < 0.0) {
+    s->ordered = now;
+    s->ordered_node = static_cast<std::int16_t>(node);
+  }
 }
 
-void Observer::on_delivered(int origin, std::uint64_t seq, double now) {
-  if (sim::stage_effect<&Observer::on_delivered>(this, origin, seq, now)) return;
+void Observer::on_delivered(int origin, std::uint64_t seq, double now, int node) {
+  if (sim::stage_effect<&Observer::on_delivered>(this, origin, seq, now, node)) return;
   if (now >= next_window_) roll_window(now);
   Span* s = find(origin, seq);
   if (s == nullptr || s->delivered >= 0.0) return;
   s->delivered = now;
+  s->deliver_node = static_cast<std::int16_t>(node);
   // Paths that deliver without an explicit ordering instant (e.g. the GM
   // view-change flush) collapse the ordering phase onto delivery.
   if (s->ordered < 0.0) s->ordered = now;
@@ -142,6 +168,125 @@ void Observer::on_delivered(int origin, std::uint64_t seq, double now) {
   submit_wait_hist_.add(s->order_start - s->submit);
   ordering_hist_.add(s->ordered - s->order_start);
   delivery_hist_.add(s->delivered - s->ordered);
+  e2e_hist_.add(s->delivered - s->submit);
+}
+
+// ------------------------------------------------------------- causal edges
+
+void Observer::on_edge(std::uint32_t key, std::uint64_t seq, double t0, double t1) {
+  if (sim::stage_effect<&Observer::on_edge>(this, key, seq, t0, t1)) return;
+  // Deliberately does NOT roll metrics windows: edge recording must not
+  // change the --metrics snapshot timeline between an armed-causal run
+  // and an armed-only one.
+  const int origin = static_cast<int>(key >> 20);
+  if (origin < 0 || origin >= n_ || seq == 0) return;
+  auto& slab = edges_[static_cast<std::size_t>(origin)];
+  if (slab.size() >= cfg_.edge_capacity) {
+    ++edges_dropped_;
+    return;
+  }
+  Edge e;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.seq = static_cast<std::uint32_t>(seq);
+  e.node = static_cast<std::int16_t>(static_cast<int>((key >> 8) & 0xfffu) - 1);
+  e.kind = static_cast<EdgeKind>(key & 0xffu);
+  slab.push_back(e);  // reserved to capacity: never reallocates
+}
+
+void Observer::trace_marker(EdgeKind kind, int node, const MsgRefList& refs, double now) {
+  if (!causal()) return;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    on_edge(edge_key(refs[i].origin, kind, node), refs[i].seq, now, now);
+  }
+}
+
+void Observer::trace_stall(EdgeKind kind, int node, const MsgRefList& refs, double t0,
+                           double t1) {
+  if (!causal()) return;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    on_edge(edge_key(refs[i].origin, kind, node), refs[i].seq, t0, t1);
+  }
+}
+
+std::size_t Observer::edges_recorded() const {
+  std::size_t sum = 0;
+  for (const auto& slab : edges_) sum += slab.size();
+  return sum;
+}
+
+// ------------------------------------------------------------- FD QoS meter
+
+void Observer::on_crash(int p, double now) {
+  if (sim::stage_effect<&Observer::on_crash>(this, p, now)) return;
+  if (p < 0 || p >= n_) return;
+  auto& t = qos_targets_[static_cast<std::size_t>(p)];
+  if (t.crashed) return;
+  t.crashed = true;
+  ++t.crash_epoch;
+  t.crash_time = now;
+  // Monitors already (wrongly) suspecting p become instantly correct:
+  // close the in-flight mistake at the crash instant and credit T_D = 0.
+  for (int m = 0; m < n_; ++m) {
+    auto& pair = qos_pairs_[static_cast<std::size_t>(m) * static_cast<std::size_t>(n_) +
+                            static_cast<std::size_t>(p)];
+    if (pair.suspected) {
+      if (pair.mistake_open >= 0.0) {
+        ++qos_.tm_count;
+        qos_.tm_sum_ms += now - pair.mistake_open;
+        pair.mistake_open = -1.0;
+      }
+      if (pair.seen_epoch != t.crash_epoch) {
+        pair.seen_epoch = t.crash_epoch;
+        ++qos_.detections;  // td_sum_ms += 0
+      }
+    }
+  }
+}
+
+void Observer::on_recover(int p, double now) {
+  if (sim::stage_effect<&Observer::on_recover>(this, p, now)) return;
+  if (p < 0 || p >= n_) return;
+  auto& t = qos_targets_[static_cast<std::size_t>(p)];
+  t.crashed = false;
+  t.crash_time = -1.0;
+  (void)now;
+}
+
+void Observer::on_fd_transition(int monitor, int target, int flags, double now) {
+  if (sim::stage_effect<&Observer::on_fd_transition>(this, monitor, target, flags, now)) return;
+  if (monitor < 0 || monitor >= n_ || target < 0 || target >= n_) return;
+  const bool suspected = (flags & 1) != 0;
+  auto& pair = qos_pairs_[static_cast<std::size_t>(monitor) * static_cast<std::size_t>(n_) +
+                          static_cast<std::size_t>(target)];
+  if (pair.suspected == suspected) return;
+  pair.suspected = suspected;
+  ++qos_.transitions;
+  const auto& t = qos_targets_[static_cast<std::size_t>(target)];
+  if (suspected) {
+    if (t.crashed) {
+      if (pair.seen_epoch != t.crash_epoch) {
+        pair.seen_epoch = t.crash_epoch;
+        ++qos_.detections;
+        qos_.td_sum_ms += now - t.crash_time;
+      }
+    } else {
+      // Wrong suspicion: a new mistake starts.  T_MR is the gap between
+      // consecutive mistake *starts* at this pair (Chen-Toueg).
+      ++qos_.mistakes;
+      if (pair.last_mistake_start >= 0.0) {
+        ++qos_.tmr_count;
+        qos_.tmr_sum_ms += now - pair.last_mistake_start;
+      }
+      pair.last_mistake_start = now;
+      pair.mistake_open = now;
+    }
+  } else if (pair.mistake_open >= 0.0) {
+    // Trust restored while the target is alive closes the mistake.
+    ++qos_.tm_count;
+    qos_.tm_sum_ms += now - pair.mistake_open;
+    pair.mistake_open = -1.0;
+  }
 }
 
 // ----------------------------------------------------------- counters/gauges
@@ -186,6 +331,17 @@ void Observer::roll_window(double now) {
       }
     }
     snapshots_.push_back(snap);
+    if (cfg_.per_node_metrics) {
+      // Per-node rows ride the aggregate ring one-for-one, so both CSVs
+      // share the same capacity bound and drop count.
+      for (int node = 0; node < n_; ++node) {
+        std::array<std::uint64_t, kCounterCount> row{};
+        for (std::size_t c = 0; c < kCounterCount; ++c) {
+          row[c] = counters_[static_cast<std::size_t>(node) * kCounterCount + c];
+        }
+        node_snapshots_.push_back(row);
+      }
+    }
   } else {
     ++snapshots_dropped_;
   }
@@ -284,6 +440,32 @@ void Observer::write_trace_json(std::ostream& os) const {
       }
     }
   }
+  if (causal()) {
+    // Flow events connect each message's submit at its origin to its
+    // global-first delivery at the delivering node, annotated with the
+    // walker's dominant cause.  Gated on causal() so plain --trace output
+    // is unchanged (and its CI validation stays strict).
+    const auto paths = critical_paths(0.0, std::numeric_limits<double>::infinity());
+    for (const auto& m : paths) {
+      const Span* s = span(m.origin, m.seq);
+      if (s == nullptr || s->delivered < 0.0) continue;
+      std::size_t dom = 0;
+      for (std::size_t c = 1; c < kCauseCount; ++c) {
+        if (m.ms[c] > m.ms[dom]) dom = c;
+      }
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.origin)) << 32) | m.seq;
+      const int dst = s->deliver_node >= 0 ? s->deliver_node : m.origin;
+      sep();
+      os << "{\"ph\":\"s\",\"cat\":\"causal\",\"pid\":" << m.origin << ",\"tid\":" << m.seq
+         << ",\"name\":\"msg\",\"id\":" << id << ",\"ts\":" << m.submit * 1000.0 << "}";
+      sep();
+      os << "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"causal\",\"pid\":" << dst
+         << ",\"tid\":" << m.seq << ",\"name\":\"msg\",\"id\":" << id
+         << ",\"ts\":" << m.delivered * 1000.0 << ",\"args\":{\"dominant_cause\":\""
+         << cause_name(static_cast<Cause>(dom)) << "\"}}";
+    }
+  }
   os << "\n]}\n";
 }
 
@@ -297,6 +479,26 @@ void Observer::write_metrics_csv(std::ostream& os) const {
     os << snap.t;
     for (std::size_t c = 0; c < kCounterCount; ++c) os << ',' << snap.agg[c];
     os << '\n';
+  }
+}
+
+void Observer::write_metrics_per_node_csv(std::ostream& os) const {
+  os << "t_ms,node";
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    os << ',' << counter_name(static_cast<Counter>(c));
+  }
+  os << '\n';
+  // node_snapshots_ rows [i*n, (i+1)*n) belong to snapshots_[i]; the two
+  // rings fill in lockstep (roll_window appends both or neither).
+  const std::size_t rows = node_snapshots_.size() / static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < rows && i < snapshots_.size(); ++i) {
+    for (int node = 0; node < n_; ++node) {
+      const auto& row = node_snapshots_[i * static_cast<std::size_t>(n_) +
+                                        static_cast<std::size_t>(node)];
+      os << snapshots_[i].t << ',' << node;
+      for (std::size_t c = 0; c < kCounterCount; ++c) os << ',' << row[c];
+      os << '\n';
+    }
   }
 }
 
@@ -320,6 +522,12 @@ void Observer::flush_export() const {
   }
   if (!metrics_path_.empty()) {
     if (auto file = open(metrics_path_)) write_metrics_csv(file);
+  }
+  if (!metrics_per_node_path_.empty()) {
+    if (auto file = open(metrics_per_node_path_)) write_metrics_per_node_csv(file);
+  }
+  if (!critical_path_path_.empty()) {
+    if (auto file = open(critical_path_path_)) write_critical_path_csv(file);
   }
 }
 

@@ -7,6 +7,20 @@
 
 namespace fdgm::transport {
 
+namespace {
+
+// Records one causal edge (stall interval or, with t0 == t1, a point
+// marker) per application message the frame carries.  Callers guard on
+// obs->causal().
+inline void causal_edges(obs::Observer* o, obs::EdgeKind kind, net::ProcessId node,
+                         const net::Message& m, double t0, double t1) {
+  obs::MsgRefList refs;
+  obs::classify_payload(m.payload, refs);
+  if (!refs.empty()) o->trace_stall(kind, node, refs, t0, t1);
+}
+
+}  // namespace
+
 Transport::Transport(sim::Scheduler& sched, net::Network& net, net::PayloadArena& arena,
                      int num_processes, Config cfg, Sink& sink)
     : sched_(&sched),
@@ -134,6 +148,12 @@ void Transport::on_frame(const net::Message& m, net::ProcessId dst) {
     std::size_t k = 0;
     while (k < r.buffer.size() && r.buffer[k].frame.seq_no() == r.expected) {
       ++r.expected;
+      // Causal marker: this frame's reorder-buffer hold ends here (the
+      // matching kReorderEnq was recorded when it was parked).
+      if (obs_ != nullptr && obs_->causal()) {
+        causal_edges(obs_, obs::EdgeKind::kReorderRel, dst, r.buffer[k], sched_->now(),
+                     sched_->now());
+      }
       sink_->deliver_frame(r.buffer[k], dst);
       ++k;
     }
@@ -165,6 +185,11 @@ void Transport::on_frame(const net::Message& m, net::ProcessId dst) {
   if (obs_ != nullptr) {
     obs_->count(dst, obs::Counter::kTransportBuffered, sched_->now());
     obs_->reorder_depth(dst, r.buffer.size());
+    // Causal marker: parked out of order; the hold lasts until the
+    // matching kReorderRel when the gap closes.
+    if (obs_->causal()) {
+      causal_edges(obs_, obs::EdgeKind::kReorderEnq, dst, m, sched_->now(), sched_->now());
+    }
   }
   // Re-NACK spacing: exponential per stalled frontier, and never shorter
   // than the current pipeline backlog — the requested retransmission has
@@ -200,6 +225,11 @@ void Transport::handle_ctrl(const net::Message& m, net::ProcessId dst) {
     if (seq <= c->ack) continue;
     if (seq >= c->hi) break;  // ring is seq-sorted
     if (sched_->now() - e.last_tx < guard) continue;
+    // Causal stall: this frame's content waited [last_tx, now) for a
+    // NACK-triggered retransmission.
+    if (obs_ != nullptr && obs_->causal()) {
+      causal_edges(obs_, obs::EdgeKind::kStallNack, dst, e.msg, e.last_tx, sched_->now());
+    }
     retransmit(m.src, e);
     ++stats_.retx_nack;
     if (obs_ != nullptr) obs_->count(dst, obs::Counter::kTransportRetxNack, sched_->now());
@@ -258,8 +288,14 @@ void Transport::on_timer(net::ProcessId a, net::ProcessId b) {
   const double age = sched_->now() - s.ring[s.ring_head].last_tx;
   if (age + 0.125 <= patience) {
     ++stats_.postponed;
-    s.timer = sched_->schedule_after(std::max(patience - age, 0.125),
-                                     [this, a, b] { on_timer(a, b); });
+    const double wait = std::max(patience - age, 0.125);
+    // Causal stall: the oldest frame's recovery is deliberately postponed
+    // for [now, now + wait) on a quiet-channel judgement.
+    if (obs_ != nullptr && obs_->causal()) {
+      causal_edges(obs_, obs::EdgeKind::kStallBackoff, a, s.ring[s.ring_head].msg,
+                   sched_->now(), sched_->now() + wait);
+    }
+    s.timer = sched_->schedule_after(wait, [this, a, b] { on_timer(a, b); });
     return;
   }
   // Probe with the oldest frame only: if everything was in fact delivered
@@ -269,6 +305,10 @@ void Transport::on_timer(net::ProcessId a, net::ProcessId b) {
   // and acks everything buffered behind it.
   RingEntry& e = s.ring[s.ring_head];
   if (sched_->now() - e.last_tx >= cfg_.min_retx_spacing_ms) {
+    // Causal stall: waited [last_tx, now) before a blind timer probe.
+    if (obs_ != nullptr && obs_->causal()) {
+      causal_edges(obs_, obs::EdgeKind::kStallTimer, a, e.msg, e.last_tx, sched_->now());
+    }
     retransmit(b, e);
     ++stats_.retx_timer;
     if (obs_ != nullptr) obs_->count(a, obs::Counter::kTransportRetxTimer, sched_->now());

@@ -1,0 +1,113 @@
+// Bench-driver CLI behavior, exercised by shelling out to the fdgm_bench
+// binary next to the test (built in the same tree; the tests skip
+// gracefully when the bench target was not built).
+//
+// The contract under test: --trace/--metrics/--critical-path silently
+// force --jobs 1 (the export claimant must be deterministic), and the
+// stderr warning appears ONLY when the user explicitly passed a
+// conflicting --jobs N — an implicit default must not warn.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+const char* bench_path() { return "./fdgm_bench"; }
+
+bool bench_available() { return std::filesystem::exists(bench_path()); }
+
+struct CliResult {
+  int status = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream f(p);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+CliResult run_bench(const std::string& args) {
+  // ctest runs each TEST as its own process, possibly concurrently; keep
+  // the redirect files (and nothing else) unique per process.
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string tag = std::to_string(static_cast<long>(::getpid()));
+  const auto out = dir / ("fdgm_bench_cli_out_" + tag + ".txt");
+  const auto err = dir / ("fdgm_bench_cli_err_" + tag + ".txt");
+  const std::string cmd = std::string(bench_path()) + " " + args + " >" + out.string() +
+                          " 2>" + err.string();
+  CliResult r;
+  r.status = std::system(cmd.c_str());
+  r.out = slurp(out);
+  r.err = slurp(err);
+  std::filesystem::remove(out);
+  std::filesystem::remove(err);
+  return r;
+}
+
+TEST(BenchCli, ExplicitJobsWithExportWarnsAndOverrides) {
+  if (!bench_available()) GTEST_SKIP() << "fdgm_bench not built";
+  const auto trace = std::filesystem::temp_directory_path() / "cli_trace.json";
+  const CliResult r = run_bench("critical_path --set quick=1 --jobs 4 --trace " +
+                                trace.string());
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.err.find("force --jobs 1"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("--jobs 4"), std::string::npos) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(trace));
+  std::filesystem::remove(trace);
+}
+
+TEST(BenchCli, DefaultJobsWithExportStaysSilent) {
+  if (!bench_available()) GTEST_SKIP() << "fdgm_bench not built";
+  const auto trace = std::filesystem::temp_directory_path() / "cli_trace_silent.json";
+  const CliResult r = run_bench("critical_path --set quick=1 --trace " + trace.string());
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(r.err.find("force --jobs 1"), std::string::npos) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(trace));
+  std::filesystem::remove(trace);
+}
+
+TEST(BenchCli, ExplicitJobsOneWithExportStaysSilent) {
+  if (!bench_available()) GTEST_SKIP() << "fdgm_bench not built";
+  const auto metrics = std::filesystem::temp_directory_path() / "cli_metrics.csv";
+  const CliResult r = run_bench("critical_path --set quick=1 --jobs 1 --metrics " +
+                                metrics.string());
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(r.err.find("force --jobs 1"), std::string::npos) << r.err;
+  std::filesystem::remove(metrics);
+}
+
+TEST(BenchCli, CriticalPathExportHasCauseColumnsAndFooter) {
+  if (!bench_available()) GTEST_SKIP() << "fdgm_bench not built";
+  const auto csv = std::filesystem::temp_directory_path() / "cli_critical.csv";
+  const CliResult r = run_bench("critical_path --set quick=1 --critical-path " +
+                                csv.string());
+  EXPECT_EQ(r.status, 0);
+  const std::string content = slurp(csv);
+  EXPECT_EQ(content.rfind("origin,seq,submit_ms,delivered_ms,latency_ms,", 0), 0u);
+  EXPECT_NE(content.find("loss_nack"), std::string::npos);
+  EXPECT_NE(content.find("# cause,sum_ms,p50_ms,p99_ms"), std::string::npos);
+  std::filesystem::remove(csv);
+}
+
+TEST(BenchCli, MetricsPerNodeExportHasNodeColumn) {
+  if (!bench_available()) GTEST_SKIP() << "fdgm_bench not built";
+  const auto csv = std::filesystem::temp_directory_path() / "cli_per_node.csv";
+  const CliResult r = run_bench("critical_path --set quick=1 --metrics-per-node " +
+                                csv.string());
+  EXPECT_EQ(r.status, 0);
+  const std::string content = slurp(csv);
+  EXPECT_EQ(content.rfind("t_ms,node,", 0), 0u);
+  std::filesystem::remove(csv);
+}
+
+}  // namespace

@@ -198,7 +198,9 @@ TEST(FdAbcast, RenumberingMovesCoordinatorAwayFromCrashed) {
   auto late_latency = [](bool renumber) {
     fd::QosParams qp;
     qp.detection_time = 100.0;
-    Fixture f(3, qp, 1, FdAbcastConfig{.renumbering = renumber});
+    FdAbcastConfig fc;
+    fc.renumbering = renumber;
+    Fixture f(3, qp, 1, fc);
     f.sys.crash(0);
     // Several early messages let the winner anchor move past the pipeline
     // window; then measure a message in the re-numbered steady state.

@@ -281,7 +281,9 @@ TEST(GmAbcast, UniformityMajorityAckBeforeAnyDelivery) {
   uni.sys.scheduler().run();
   EXPECT_GE(first_uni.first, 9.0);
 
-  Fixture non(3, {}, 1, GmAbcastConfig{.uniform = false});
+  GmAbcastConfig nu;
+  nu.uniform = false;
+  Fixture non(3, {}, 1, nu);
   non.procs[1]->a_broadcast();
   FirstDeliverySink first_non;
   first_non.sys = &non.sys;
@@ -291,7 +293,9 @@ TEST(GmAbcast, UniformityMajorityAckBeforeAnyDelivery) {
 }
 
 TEST(GmAbcast, NonUniformVariantKeepsTotalOrderWithoutFailures) {
-  Fixture f(5, {}, 1, GmAbcastConfig{.uniform = false});
+  GmAbcastConfig nu;
+  nu.uniform = false;
+  Fixture f(5, {}, 1, nu);
   std::vector<MsgId> ids;
   for (int i = 0; i < 50; ++i) {
     f.sys.scheduler().schedule_at(i * 2.0, [&f, &ids, i] {

@@ -225,6 +225,67 @@ TEST(ObsExport, MetricsCsvHasHeaderAndOneRowPerSnapshot) {
   EXPECT_EQ(rows, o.snapshot_count());
 }
 
+TEST(ObsExport, PerNodeMetricsCsvHasOneRowPerNodePerWindow) {
+  Config cfg = armed();
+  cfg.metrics_window_ms = 10.0;
+  cfg.per_node_metrics = true;
+  Observer o(3, cfg);
+  o.count(0, Counter::kSuspicions, 15.0);
+  o.count(1, Counter::kSuspicions, 25.0);
+
+  std::ostringstream ss;
+  o.write_metrics_per_node_csv(ss);
+  std::istringstream in(ss.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("t_ms,node,", 0), 0u);
+  EXPECT_NE(header.find("suspicions"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, o.snapshot_count() * 3u);
+}
+
+// Per-node rows are only collected when the config asks for them; the
+// export then has nothing to write (header only).
+TEST(ObsExport, PerNodeMetricsOffByDefault) {
+  Config cfg = armed();
+  cfg.metrics_window_ms = 10.0;
+  Observer o(2, cfg);
+  o.count(0, Counter::kSuspicions, 15.0);
+  o.count(0, Counter::kSuspicions, 25.0);
+  ASSERT_GT(o.snapshot_count(), 0u);
+
+  std::ostringstream ss;
+  o.write_metrics_per_node_csv(ss);
+  std::istringstream in(ss.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, 0u);
+}
+
+TEST(ObsExport, TraceJsonCarriesFlowEventsWhenCausal) {
+  Config cfg = armed();
+  cfg.causal = true;
+  Observer o(2, cfg);
+  o.on_submit(1, 1, 10.0);
+  o.on_order_start(1, 1, 12.0);
+  o.on_ordered(1, 1, 20.0, 0);
+  o.on_delivered(1, 1, 26.0, 0);
+
+  std::ostringstream ss;
+  o.write_trace_json(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(out.find("dominant_cause"), std::string::npos);
+  EXPECT_EQ(out.find(",]"), std::string::npos);
+  EXPECT_EQ(out.find(",}"), std::string::npos);
+}
+
 TEST(ObsExport, CounterNamesAreStableSnakeCase) {
   EXPECT_STREQ(counter_name(Counter::kTransportRetx), "transport_retx");
   EXPECT_STREQ(counter_name(Counter::kCreditSheds), "credit_sheds");
